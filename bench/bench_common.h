@@ -1,0 +1,32 @@
+// Shared helpers for the experiment binaries: named graph construction and
+// formatting. Every binary prints a self-contained, seeded, reproducible
+// table to stdout (see EXPERIMENTS.md for the paper-vs-measured record).
+#pragma once
+
+#include <string>
+
+#include "graph/generators.h"
+#include "util/check.h"
+#include "util/rng.h"
+
+namespace fg::bench {
+
+/// Build a named seed graph over ~n nodes: "star", "path", "cycle", "grid",
+/// "er" (ER with mean degree 8), "ba" (Barabasi-Albert m=2), "tree".
+inline Graph make_named_graph(const std::string& kind, int n, Rng& rng) {
+  if (kind == "star") return make_star(n);
+  if (kind == "path") return make_path(n);
+  if (kind == "cycle") return make_cycle(n);
+  if (kind == "grid") {
+    int side = 1;
+    while (side * side < n) ++side;
+    return make_grid(side, side);
+  }
+  if (kind == "er") return make_erdos_renyi(n, 8.0 / n, rng);
+  if (kind == "ba") return make_barabasi_albert(n, 2, rng);
+  if (kind == "tree") return make_random_tree(n, rng);
+  FG_CHECK_MSG(false, "unknown graph kind");
+  return Graph(1);
+}
+
+}  // namespace fg::bench

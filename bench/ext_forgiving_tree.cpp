@@ -1,0 +1,65 @@
+// Extension E2: Forgiving Graph vs Forgiving Tree (PODC 2008).
+//
+// The paper's introduction claims three improvements over its predecessor:
+//  1. *stretch* (pairwise distances vs G') instead of only *diameter*;
+//  2. adversarial insertions handled;
+//  3. no O(n log n)-message initialization phase.
+// This bench quantifies improvement 1: both structures heal the same
+// deletion schedules; we report stretch against the full G'. The Forgiving
+// Tree only maintains a spanning tree, so every non-tree shortcut of the
+// original network is lost and its stretch grows with graph density, while
+// the Forgiving Graph tracks G' within ceil(log2 n).
+#include <iostream>
+
+#include "adversary/adversary.h"
+#include "bench_common.h"
+#include "harness/metrics.h"
+#include "haft/haft.h"
+#include "heal/forgiving_tree.h"
+#include "util/table.h"
+
+namespace fg {
+namespace {
+
+void run() {
+  std::cout << "=== E2: ForgivingGraph vs ForgivingTree (predecessor) ===\n\n";
+  Table t{"graph", "n", "healer", "max stretch", "avg stretch", "bound", "max deg ratio"};
+  for (const char* gname : {"er", "ba", "grid", "cycle"}) {
+    for (int n : {256, 1024}) {
+      // One recorded schedule drives both structures.
+      Rng rng(0xE2ul + static_cast<uint64_t>(n) + gname[0]);
+      Graph g0 = bench::make_named_graph(gname, n, rng);
+      ForgivingGraphHealer fgh(g0);
+      RandomDeleteAdversary adv(std::max(8, n / 3));
+      Rng runner = rng.split();
+      std::vector<NodeId> schedule;
+      while (auto a = adv.next(fgh, runner)) {
+        schedule.push_back(a->target);
+        fgh.remove(a->target);
+      }
+      ForgivingTreeHealer fth(g0);
+      for (NodeId v : schedule) fth.remove(v);
+
+      double bound = std::max(1, haft::ceil_log2(n));
+      for (Healer* h : {static_cast<Healer*>(&fgh), static_cast<Healer*>(&fth)}) {
+        Rng srng(17);
+        auto s = sample_stretch(h->healed(), h->gprime(), 24, srng);
+        auto d = degree_stats(h->healed(), h->gprime());
+        t.add(gname, n, h->name(), fmt(s.max_stretch), fmt(s.avg_stretch), fmt(bound),
+              fmt(d.max_ratio));
+      }
+    }
+  }
+  t.print(std::cout);
+  std::cout << "\nThe Forgiving Tree respects its own guarantee (tree diameter), but\n"
+               "measured against the full G' its stretch exceeds the log2(n) bound on\n"
+               "dense graphs — the gap the 2009 paper closes.\n";
+}
+
+}  // namespace
+}  // namespace fg
+
+int main() {
+  fg::run();
+  return 0;
+}

@@ -1,0 +1,71 @@
+// Experiment F2: repair-cost scaling curves of the distributed protocol.
+//
+// Series 1 — messages vs deleted degree d (star hubs, d = 2^k): the curve
+// should track d * log2(n) with a flat constant (Lemma 4).
+// Series 2 — rounds vs d: our plan-broadcast variant runs in
+// O(log d + log n) rounds, under the paper's O(log d log n) budget.
+// Series 3 — cost of merging many pre-existing RTs: nodes adjacent to many
+// previously-deleted hubs, the case that exercises BottomupRTMerge.
+#include <cmath>
+#include <iostream>
+
+#include "fg/dist/dist_forgiving_graph.h"
+#include "graph/generators.h"
+#include "haft/haft.h"
+#include "util/rng.h"
+#include "util/table.h"
+
+namespace fg {
+namespace {
+
+void hub_series() {
+  std::cout << "--- F2a: messages & rounds vs d (star hub deletion) ---\n";
+  Table t{"d", "messages", "d*log2(n)", "ratio", "rounds", "log2(d)", "words/message"};
+  for (int k = 3; k <= 11; ++k) {
+    int d = 1 << k;
+    dist::DistForgivingGraph net(make_star(d + 1));
+    net.remove(0);
+    const auto& c = net.last_repair_cost();
+    double dlogn = static_cast<double>(d) * haft::ceil_log2(d + 1);
+    t.add(d, std::to_string(c.messages), fmt(dlogn), fmt(c.messages / dlogn), c.rounds, k,
+          fmt(static_cast<double>(c.words) / static_cast<double>(c.messages)));
+  }
+  t.print(std::cout);
+}
+
+void merge_series() {
+  std::cout << "\n--- F2b: deleting a node that merges m pre-existing RTs ---\n";
+  // Build m stars of degree 8 whose hubs all share one common neighbor z,
+  // delete the hubs (creating m RTs with z's leaves inside), then delete z:
+  // the repair must merge fragments of all m RTs.
+  Table t{"m RTs merged", "anchors", "pieces", "messages", "rounds", "max msg words"};
+  for (int m : {2, 4, 8, 16, 32}) {
+    int per_star = 8;
+    Graph g0(1 + m * (1 + per_star));  // z, then m hubs with 8 leaves each
+    NodeId z = 0;
+    std::vector<NodeId> hubs;
+    NodeId next = 1;
+    for (int i = 0; i < m; ++i) {
+      NodeId hub = next++;
+      hubs.push_back(hub);
+      g0.add_edge(hub, z);
+      for (int j = 0; j < per_star; ++j) g0.add_edge(hub, next++);
+    }
+    dist::DistForgivingGraph net(g0);
+    for (NodeId hub : hubs) net.remove(hub);
+    net.remove(z);
+    const auto& c = net.last_repair_cost();
+    t.add(m, c.anchors, c.pieces, std::to_string(c.messages), c.rounds, c.max_message_words);
+  }
+  t.print(std::cout);
+}
+
+}  // namespace
+}  // namespace fg
+
+int main() {
+  std::cout << "=== F2: distributed repair cost scaling ===\n\n";
+  fg::hub_series();
+  fg::merge_series();
+  return 0;
+}

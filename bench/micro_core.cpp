@@ -1,0 +1,113 @@
+// M1: microbenchmarks (google-benchmark) for the core data structures:
+// haft build/strip/merge throughput, Forgiving Graph operation latency, and
+// the BFS used by the metrics pipeline.
+#include <benchmark/benchmark.h>
+
+#include "fg/dist/dist_forgiving_graph.h"
+#include "fg/forgiving_graph.h"
+#include "graph/algorithms.h"
+#include "graph/generators.h"
+#include "haft/haft.h"
+#include "util/rng.h"
+
+namespace fg {
+namespace {
+
+void BM_HaftBuild(benchmark::State& state) {
+  const auto l = static_cast<int64_t>(state.range(0));
+  for (auto _ : state) {
+    haft::HaftForest f;
+    benchmark::DoNotOptimize(f.build(l));
+  }
+  state.SetItemsProcessed(state.iterations() * l);
+}
+BENCHMARK(BM_HaftBuild)->Arg(64)->Arg(1024)->Arg(16384);
+
+void BM_HaftStripMerge(benchmark::State& state) {
+  const auto l = static_cast<int64_t>(state.range(0));
+  for (auto _ : state) {
+    haft::HaftForest f;
+    int a = f.build(l, 0);
+    int b = f.build(l + 1, static_cast<uint64_t>(l));
+    benchmark::DoNotOptimize(f.merge({a, b}));
+  }
+}
+BENCHMARK(BM_HaftStripMerge)->Arg(63)->Arg(1023)->Arg(8191);
+
+void BM_MergePlan(benchmark::State& state) {
+  const int k = static_cast<int>(state.range(0));
+  std::vector<haft::PieceInfo> pieces;
+  for (int i = 0; i < k; ++i)
+    pieces.push_back({int64_t{1} << (i % 8), static_cast<uint64_t>(i)});
+  for (auto _ : state) benchmark::DoNotOptimize(haft::merge_plan(pieces));
+  state.SetItemsProcessed(state.iterations() * k);
+}
+BENCHMARK(BM_MergePlan)->Arg(16)->Arg(256)->Arg(4096);
+
+void BM_ForgivingGraphDeletion(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    state.PauseTiming();
+    Rng rng(7);
+    Graph g0 = make_erdos_renyi(n, 8.0 / n, rng);
+    ForgivingGraph fg(g0);
+    auto order = g0.alive_nodes();
+    rng.shuffle(order);
+    order.resize(static_cast<size_t>(n / 2));
+    state.ResumeTiming();
+    for (NodeId v : order) fg.remove(v);
+    benchmark::DoNotOptimize(fg.healed().edge_count());
+  }
+  state.SetItemsProcessed(state.iterations() * (n / 2));
+}
+BENCHMARK(BM_ForgivingGraphDeletion)->Arg(256)->Arg(1024)->Arg(4096)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_ForgivingGraphStarHub(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    state.PauseTiming();
+    ForgivingGraph fg(make_star(n));
+    state.ResumeTiming();
+    fg.remove(0);
+    benchmark::DoNotOptimize(fg.last_repair().helpers_created);
+  }
+}
+BENCHMARK(BM_ForgivingGraphStarHub)->Arg(256)->Arg(4096)->Unit(benchmark::kMicrosecond);
+
+void BM_DistributedRepair(benchmark::State& state) {
+  // Full message-passing repair of a star hub; compare with
+  // BM_ForgivingGraphStarHub for the simulator's costing overhead.
+  const int n = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    state.PauseTiming();
+    dist::DistForgivingGraph net(make_star(n));
+    state.ResumeTiming();
+    net.remove(0);
+    benchmark::DoNotOptimize(net.last_repair_cost().messages);
+  }
+}
+BENCHMARK(BM_DistributedRepair)->Arg(256)->Arg(1024)->Unit(benchmark::kMicrosecond);
+
+void BM_Insertion(benchmark::State& state) {
+  Rng rng(3);
+  Graph g0 = make_erdos_renyi(1024, 8.0 / 1024, rng);
+  ForgivingGraph fg(g0);
+  std::vector<NodeId> nbrs{1, 2, 3};
+  for (auto _ : state) benchmark::DoNotOptimize(fg.insert(nbrs));
+}
+BENCHMARK(BM_Insertion);
+
+void BM_BfsMetrics(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  Rng rng(5);
+  Graph g = make_erdos_renyi(n, 8.0 / n, rng);
+  for (auto _ : state) benchmark::DoNotOptimize(bfs_distances(g, 0));
+  state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_BfsMetrics)->Arg(1024)->Arg(8192);
+
+}  // namespace
+}  // namespace fg
+
+BENCHMARK_MAIN();

@@ -1,0 +1,66 @@
+// Experiment T2 (Theorem 1.2): network stretch under adversarial deletion.
+//
+// Paper claim: dist(x,y,G) <= ceil(log2 n) * dist(x,y,G') for every alive
+// pair, where n counts all nodes ever seen. We sweep seed graphs x
+// adversaries x sizes, delete 60% of the network, and sample the stretch
+// from 32 BFS sources at four checkpoints; baselines show where the bound
+// fails without the Forgiving Graph's RT machinery.
+#include <iostream>
+
+#include "adversary/adversary.h"
+#include "bench_common.h"
+#include "harness/experiment.h"
+#include "haft/haft.h"
+#include "heal/baselines.h"
+#include "util/table.h"
+
+namespace fg {
+namespace {
+
+void run() {
+  std::cout << "=== T2 (Theorem 1.2): stretch dist(x,y,G)/dist(x,y,G') ===\n"
+            << "Bound: ceil(log2 n). 'broken' counts sampled pairs connected in G'\n"
+            << "but disconnected in G (only baselines break connectivity).\n\n";
+
+  Table t{"graph", "adversary", "n", "healer", "max stretch", "avg stretch",
+          "bound", "ok", "broken"};
+  const char* graphs[] = {"er", "ba", "star"};
+  const char* advs[] = {"random-delete", "maxdeg-delete"};
+  const int sizes[] = {256, 1024, 2048};
+  const char* healers[] = {"forgiving", "line", "star", "binary-tree", "none"};
+
+  for (const char* gname : graphs) {
+    for (const char* aname : advs) {
+      for (int n : sizes) {
+        for (const char* hname : healers) {
+          bool is_fg = std::string(hname) == "forgiving";
+          if (!is_fg && n != 1024) continue;  // baselines: one size suffices
+          Rng rng(0x52ul * static_cast<uint64_t>(n) + gname[0] * 131 + aname[0]);
+          Graph g0 = bench::make_named_graph(gname, n, rng);
+          auto healer = make_healer(hname, g0);
+          auto adv = make_adversary(aname);
+          RunConfig cfg;
+          cfg.max_steps = static_cast<int>(0.6 * g0.alive_count());
+          cfg.sample_every = std::max(1, cfg.max_steps / 4);
+          cfg.stretch_sources = 32;
+          auto res = run_experiment(*healer, *adv, cfg, rng);
+          double bound = std::max(1, haft::ceil_log2(healer->gprime().node_capacity()));
+          t.add(gname, aname, n, healer->name(), fmt(res.worst_stretch),
+                fmt(res.final.stretch.avg_stretch), fmt(bound),
+                is_fg ? (res.worst_stretch <= bound + 1e-9 ? "yes" : "NO!")
+                      : (res.worst_stretch <= bound + 1e-9 ? "(yes)" : "no"),
+                std::to_string(res.broken_pairs_total));
+        }
+      }
+    }
+  }
+  t.print(std::cout);
+}
+
+}  // namespace
+}  // namespace fg
+
+int main() {
+  fg::run();
+  return 0;
+}

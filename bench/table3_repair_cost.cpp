@@ -1,0 +1,156 @@
+// Experiment T3 (Theorem 1.3 / Lemma 4): repair cost of the distributed
+// protocol, measured on the message-passing simulator.
+//
+// Paper claims per deletion (d = degree of the deleted node, n = nodes seen):
+//   messages  O(d log n),
+//   time      O(log d log n) rounds,
+//   msg size  O(log n) bits.
+// The first table deletes the hub of star(n) (worst case d = n-1); the
+// second averages random deletions on ER graphs. "msgs/(d log n)" exposes
+// the hidden constant; it should stay flat as n grows.
+#include <cmath>
+#include <iostream>
+
+#include <algorithm>
+
+#include "fg/dist/dist_forgiving_graph.h"
+#include "graph/generators.h"
+#include "haft/haft.h"
+#include "util/rng.h"
+#include "util/table.h"
+
+namespace fg {
+namespace {
+
+double dlogn(int d, int n) {
+  return static_cast<double>(d) * std::max(1, haft::ceil_log2(n));
+}
+
+void star_table() {
+  std::cout << "--- T3a: hub deletion on star(n) (d = n-1), both merge modes ---\n"
+            << "global-plan: bit-identical to the centralized engine; stage-wise:\n"
+            << "the paper's BottomupRTMerge, keeping every message at O(log n) words.\n\n";
+  Table t{"n", "d", "mode", "messages", "msgs/(d log n)", "rounds", "log d * log n",
+          "max msg words", "max node msgs", "node-round words"};
+  for (int n : {64, 128, 256, 512, 1024, 2048}) {
+    for (auto mode : {dist::MergeMode::kGlobalPlan, dist::MergeMode::kStageWise}) {
+      dist::DistForgivingGraph net(make_star(n), mode);
+      net.remove(0);
+      const auto& c = net.last_repair_cost();
+      int d = n - 1;
+      t.add(n, d, mode == dist::MergeMode::kGlobalPlan ? "global" : "stage-wise",
+            std::to_string(c.messages), fmt(c.messages / dlogn(d, n)), c.rounds,
+            haft::ceil_log2(d) * haft::ceil_log2(n), c.max_message_words,
+            std::to_string(c.max_node_messages), std::to_string(c.max_node_round_words));
+    }
+  }
+  t.print(std::cout);
+}
+
+void er_table() {
+  std::cout << "\n--- T3b: random deletions on ER(n, 8/n), mean over 50 deletions ---\n";
+  Table t{"n", "mean d", "mean msgs", "msgs/(d log n)", "mean rounds", "max msg words"};
+  for (int n : {128, 256, 512, 1024, 2048}) {
+    Rng rng(1000 + static_cast<uint64_t>(n));
+    Graph g0 = make_erdos_renyi(n, 8.0 / n, rng);
+    dist::DistForgivingGraph net(g0);
+    double sum_msgs = 0, sum_rounds = 0, sum_d = 0, sum_norm = 0;
+    int max_words = 0;
+    int deletions = std::min(50, n / 3);
+    for (int i = 0; i < deletions; ++i) {
+      // Random alive node.
+      Graph img = net.image();
+      auto alive = img.alive_nodes();
+      NodeId v = rng.pick(alive);
+      net.remove(v);
+      const auto& c = net.last_repair_cost();
+      sum_msgs += static_cast<double>(c.messages);
+      sum_rounds += c.rounds;
+      sum_d += c.deleted_degree;
+      sum_norm += c.deleted_degree > 0
+                      ? static_cast<double>(c.messages) / dlogn(c.deleted_degree, n)
+                      : 0.0;
+      max_words = std::max(max_words, c.max_message_words);
+    }
+    t.add(n, fmt(sum_d / deletions), fmt(sum_msgs / deletions), fmt(sum_norm / deletions),
+          fmt(sum_rounds / deletions), max_words);
+  }
+  t.print(std::cout);
+}
+
+void churn_table() {
+  std::cout << "\n--- T3d: repair cost under mixed churn (ER(512), stage-wise mode) ---\n";
+  // Long-lived network: inserts keep arriving while deletions hit nodes
+  // whose RTs have merged many times; cost per deletion must stay within
+  // the Lemma-4 envelope for the *current* n, not degrade with history.
+  Table t{"deletions so far", "mean d", "mean msgs", "msgs/(d log n)", "mean rounds",
+          "max node-round words"};
+  Rng rng(4242);
+  Graph g0 = make_erdos_renyi(512, 8.0 / 512, rng);
+  dist::DistForgivingGraph net(g0, dist::MergeMode::kStageWise);
+  int deletions = 0;
+  double sum_msgs = 0, sum_rounds = 0, sum_d = 0;
+  int64_t max_nrw = 0;
+  int bucket = 0;
+  for (int step = 0; step < 900; ++step) {
+    Graph img = net.image();
+    auto alive = img.alive_nodes();
+    if (alive.size() > 64 && rng.next_bool(0.6)) {
+      net.remove(rng.pick(alive));
+      const auto& c = net.last_repair_cost();
+      ++deletions;
+      sum_msgs += static_cast<double>(c.messages);
+      sum_rounds += c.rounds;
+      sum_d += std::max(1, c.deleted_degree);
+      max_nrw = std::max(max_nrw, c.max_node_round_words);
+      if (deletions % 100 == 0) {
+        int n = net.gprime().node_capacity();
+        double mean_d = sum_d / 100.0;
+        t.add(deletions, fmt(mean_d), fmt(sum_msgs / 100.0),
+              fmt(sum_msgs / 100.0 / dlogn(static_cast<int>(mean_d), n)),
+              fmt(sum_rounds / 100.0), std::to_string(max_nrw));
+        sum_msgs = sum_rounds = sum_d = 0;
+        max_nrw = 0;
+        ++bucket;
+      }
+    } else {
+      rng.shuffle(alive);
+      alive.resize(std::min<size_t>(3, alive.size()));
+      net.insert(alive);
+    }
+  }
+  (void)bucket;
+  t.print(std::cout);
+}
+
+void insertion_table() {
+  std::cout << "\n--- T3c: insertion cost (one message per new edge) ---\n";
+  Table t{"neighbors", "messages", "rounds"};
+  Graph g0 = make_cycle(64);
+  dist::DistForgivingGraph net(g0);
+  Rng rng(7);
+  for (int k : {1, 2, 4, 8, 16}) {
+    Graph img = net.image();
+    auto alive = img.alive_nodes();
+    rng.shuffle(alive);
+    alive.resize(static_cast<size_t>(k));
+    auto before = net.lifetime_stats().messages;
+    (void)before;
+    net.network().stats().reset();
+    net.insert(alive);
+    t.add(k, std::to_string(net.network().stats().messages), net.network().stats().rounds);
+  }
+  t.print(std::cout);
+}
+
+}  // namespace
+}  // namespace fg
+
+int main() {
+  std::cout << "=== T3 (Lemma 4): distributed repair cost ===\n\n";
+  fg::star_table();
+  fg::er_table();
+  fg::churn_table();
+  fg::insertion_table();
+  return 0;
+}

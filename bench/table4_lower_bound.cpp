@@ -1,0 +1,83 @@
+// Experiment T4 (Theorem 2): the degree/stretch tradeoff lower bound.
+//
+// Paper claim: any self-healer with degree factor alpha >= 3 has stretch
+// beta >= 1/2 * log_{alpha-1}(n-1) on the star. We delete the hub of
+// star(n) under every healer and report the measured (alpha, beta) pair
+// against the bound curve; the KAry(k) sweep traces the tradeoff — larger
+// degree budgets buy smaller stretch, exactly along the predicted shape.
+// The Forgiving Graph sits near the bound (its tradeoff is asymptotically
+// optimal, Section 1).
+#include <cmath>
+#include <iostream>
+
+#include "graph/algorithms.h"
+#include "graph/generators.h"
+#include "harness/metrics.h"
+#include "heal/baselines.h"
+#include "util/table.h"
+
+namespace fg {
+namespace {
+
+double theorem2_bound(double alpha, int n) {
+  if (alpha <= 2.0) return std::numeric_limits<double>::infinity();
+  return 0.5 * std::log(n - 1) / std::log(alpha - 1.0);
+}
+
+void alpha_beta_for(const std::string& hname, int n, Table& t) {
+  Graph g0 = make_star(n);
+  auto healer = make_healer(hname, g0);
+  healer->remove(0);
+  const Graph& g = healer->healed();
+
+  auto d = degree_stats(g, healer->gprime());
+  // After deleting the star's hub every surviving pair is at G'-distance 2,
+  // so beta = (max pairwise distance in G) / 2. All heal structures here are
+  // trees, cycles, or stars, where the two-sweep diameter is exact.
+  double beta = connected_components(g) > 1 ? std::numeric_limits<double>::infinity()
+                                            : diameter_lower_bound(g) / 2.0;
+  double bound = theorem2_bound(d.max_ratio, n);
+  std::string verdict;
+  if (std::isinf(beta))
+    verdict = "disconnected";
+  else if (d.max_ratio < 3.0)
+    verdict = "n/a (alpha<3)";  // Theorem 2 only constrains alpha >= 3
+  else
+    verdict = beta >= bound - 1e-9 ? "respected" : "VIOLATED?";
+  t.add(healer->name(), n, fmt(d.max_ratio), fmt(beta),
+        std::isinf(bound) ? "inf" : fmt(bound), verdict);
+}
+
+void run() {
+  std::cout << "=== T4 (Theorem 2): alpha (degree factor) vs beta (stretch) on star(n) ===\n"
+            << "Bound: beta >= 0.5 * log_{alpha-1}(n-1) for alpha >= 3.\n\n";
+
+  Table t{"healer", "n", "alpha", "beta", "bound on beta", "verdict"};
+  for (int n : {128, 512, 2048, 8192}) {
+    for (const char* h : {"forgiving", "kary:2", "kary:3", "kary:4", "kary:8", "kary:16",
+                          "line", "star"})
+      alpha_beta_for(h, n, t);
+  }
+  t.print(std::cout);
+
+  std::cout << "\n--- F3: tradeoff curve at n = 4096 (KAry sweep) ---\n";
+  Table curve{"k", "alpha", "beta", "bound on beta", "beta/bound"};
+  for (int k : {2, 3, 4, 6, 8, 12, 16, 24, 32}) {
+    Graph g0 = make_star(4096);
+    KAryHealer healer(g0, k);
+    healer.remove(0);
+    auto d = degree_stats(healer.healed(), healer.gprime());
+    double beta = diameter_lower_bound(healer.healed()) / 2.0;
+    double bound = theorem2_bound(d.max_ratio, 4096);
+    curve.add(k, fmt(d.max_ratio), fmt(beta), fmt(bound), fmt(beta / bound));
+  }
+  curve.print(std::cout);
+}
+
+}  // namespace
+}  // namespace fg
+
+int main() {
+  fg::run();
+  return 0;
+}

@@ -1,0 +1,93 @@
+// Experiment T5 (Lemma 1 and Section 4.1): half-full tree properties.
+//
+//  1. haft(l) depth equals ceil(log2 l)  (Lemma 1.3) — verified for every
+//     l in [1, 4096].
+//  2. Strip decomposes haft(l) into popcount(l) complete trees whose sizes
+//     are the one-bits of l (Lemma 1.2), removing exactly popcount(l)-1
+//     nodes.
+//  3. Merge is binary addition: merging haft(a) and haft(b) yields
+//     haft(a+b) (Figure 5).
+#include <bit>
+#include <iostream>
+
+#include "haft/haft.h"
+#include "util/rng.h"
+#include "util/table.h"
+
+namespace fg::haft {
+namespace {
+
+void depth_table() {
+  std::cout << "--- T5a: depth of haft(l) vs ceil(log2 l), l in [1, 4096] ---\n";
+  int checked = 0, correct = 0;
+  for (int64_t l = 1; l <= 4096; ++l) {
+    HaftForest f;
+    int root = f.build(l);
+    ++checked;
+    if (f.depth(root) == ceil_log2(l) && f.is_haft(root)) ++correct;
+  }
+  Table t{"l range", "checked", "depth == ceil(log2 l) && valid haft"};
+  t.add("1..4096", checked, correct);
+  t.print(std::cout);
+
+  Table sample{"l", "depth", "ceil(log2 l)", "strip pieces", "popcount(l)"};
+  for (int64_t l : {1, 2, 3, 7, 8, 21, 100, 255, 256, 1000, 4096}) {
+    HaftForest f;
+    int root = f.build(l);
+    int depth = f.depth(root);
+    auto pieces = f.strip(root);
+    sample.add(std::to_string(l), depth, ceil_log2(l), static_cast<int>(pieces.size()),
+               std::popcount(static_cast<uint64_t>(l)));
+  }
+  std::cout << '\n';
+  sample.print(std::cout);
+}
+
+void merge_is_addition() {
+  std::cout << "\n--- T5b: Merge(haft(a), haft(b)) == haft(a+b) (binary addition) ---\n";
+  Rng rng(42);
+  int trials = 0, ok = 0;
+  for (int i = 0; i < 500; ++i) {
+    int64_t a = rng.next_int(1, 2000);
+    int64_t b = rng.next_int(1, 2000);
+    HaftForest f;
+    int ra = f.build(a, 0);
+    int rb = f.build(b, static_cast<uint64_t>(a));
+    int m = f.merge({ra, rb});
+    ++trials;
+    if (f.is_haft(m) && f.node(m).leaf_count == a + b && f.depth(m) == ceil_log2(a + b)) ++ok;
+  }
+  Table t{"random (a,b) trials", "merge == haft(a+b)"};
+  t.add(trials, ok);
+  t.print(std::cout);
+}
+
+void strip_node_removal() {
+  std::cout << "\n--- T5c: Strip removes exactly popcount(l)-1 nodes ---\n";
+  int trials = 0, ok = 0;
+  for (int64_t l = 1; l <= 2048; ++l) {
+    HaftForest f;
+    int root = f.build(l);
+    int before = f.live_node_count();
+    auto pieces = f.strip(root);
+    ++trials;
+    if (before - f.live_node_count() ==
+        std::popcount(static_cast<uint64_t>(l)) - 1 &&
+        static_cast<int>(pieces.size()) == std::popcount(static_cast<uint64_t>(l)))
+      ++ok;
+  }
+  Table t{"l range", "trials", "exact removals"};
+  t.add("1..2048", trials, ok);
+  t.print(std::cout);
+}
+
+}  // namespace
+}  // namespace fg::haft
+
+int main() {
+  std::cout << "=== T5 (Lemma 1): half-full tree properties ===\n\n";
+  fg::haft::depth_table();
+  fg::haft::merge_is_addition();
+  fg::haft::strip_node_removal();
+  return 0;
+}

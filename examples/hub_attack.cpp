@@ -1,0 +1,49 @@
+// Hub attack — the lower-bound scenario of Theorem 2.
+//
+// The adversary deletes the center of a 2048-leaf star, the single worst
+// deletion a network can suffer: every pair of survivors was at distance 2
+// through the hub. Any healer must now trade degree increase (alpha)
+// against stretch (beta >= 0.5 * log_{alpha-1}(n-1)). The Forgiving Graph
+// replaces the hub with a haft and lands on the optimal curve.
+//
+//   $ ./examples/hub_attack
+#include <cmath>
+#include <iostream>
+
+#include "graph/algorithms.h"
+#include "graph/generators.h"
+#include "harness/metrics.h"
+#include "heal/baselines.h"
+#include "util/table.h"
+
+int main() {
+  using namespace fg;
+  const int n = 2049;  // hub + 2048 leaves
+  std::cout << "Deleting the hub of a " << (n - 1) << "-leaf star.\n"
+            << "Theorem 2: beta >= 0.5*log_{alpha-1}(n-1) for any self-healer.\n\n";
+
+  Table t{"strategy", "alpha (deg ratio)", "beta (stretch)", "Thm-2 bound", "edges added"};
+  for (const char* strategy : {"forgiving", "kary:4", "kary:16", "line", "star"}) {
+    Graph star = make_star(n);
+    auto healer = make_healer(strategy, star);
+    int64_t edges_before = healer->healed().edge_count();
+    healer->remove(0);
+    int64_t edges_after = healer->healed().edge_count();
+
+    auto d = degree_stats(healer->healed(), healer->gprime());
+    double beta = diameter_lower_bound(healer->healed()) / 2.0;
+    double bound = d.max_ratio > 2.0
+                       ? 0.5 * std::log(n - 2) / std::log(d.max_ratio - 1.0)
+                       : std::numeric_limits<double>::infinity();
+    t.add(healer->name(), fmt(d.max_ratio), fmt(beta),
+          std::isinf(bound) ? "inf" : fmt(bound),
+          std::to_string(edges_after - (edges_before - (n - 1))));
+  }
+  t.print(std::cout);
+
+  std::cout << "\nReading the table: Line keeps degree tiny but stretches the ring to\n"
+               "~n/4; Star keeps distances at 1 hop but one survivor inherits every\n"
+               "edge; the Forgiving Graph pays factor <=3 degree for log2(n) stretch —\n"
+               "the asymptotically optimal point on the Theorem-2 curve.\n";
+  return 0;
+}

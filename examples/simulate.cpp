@@ -1,0 +1,86 @@
+// Parameterizable simulation driver — run any (graph x adversary x healer)
+// combination from the command line and get the paper's success metrics.
+//
+//   $ ./examples/simulate [graph] [n] [healer] [adversary] [steps] [seed]
+//
+// Defaults: er 512 forgiving random-delete 300 1.
+// Graphs:     star path cycle grid er ba tree
+// Healers:    forgiving forgiving-tree none line star binary-tree kary:<k>
+// Adversaries: random-delete maxdeg-delete helper-load star-attack
+//              churn:<p_delete> build-and-burn:<fanout>
+//
+// Set FG_CSV=1 to get CSV alongside the table.
+#include <cstdlib>
+#include <iostream>
+#include <string>
+
+#include "adversary/adversary.h"
+#include "graph/generators.h"
+#include "harness/experiment.h"
+#include "haft/haft.h"
+#include "heal/forgiving_tree.h"
+#include "heal/healer.h"
+#include "util/table.h"
+
+namespace {
+
+fg::Graph build(const std::string& kind, int n, fg::Rng& rng) {
+  using namespace fg;
+  if (kind == "star") return make_star(n);
+  if (kind == "path") return make_path(n);
+  if (kind == "cycle") return make_cycle(n);
+  if (kind == "grid") {
+    int side = 1;
+    while (side * side < n) ++side;
+    return make_grid(side, side);
+  }
+  if (kind == "er") return make_erdos_renyi(n, 8.0 / n, rng);
+  if (kind == "ba") return make_barabasi_albert(n, 2, rng);
+  if (kind == "tree") return make_random_tree(n, rng);
+  std::cerr << "unknown graph kind: " << kind << "\n";
+  std::exit(2);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace fg;
+  std::string graph = argc > 1 ? argv[1] : "er";
+  int n = argc > 2 ? std::atoi(argv[2]) : 512;
+  std::string healer_name = argc > 3 ? argv[3] : "forgiving";
+  std::string adversary_name = argc > 4 ? argv[4] : "random-delete";
+  int steps = argc > 5 ? std::atoi(argv[5]) : 300;
+  uint64_t seed = argc > 6 ? std::strtoull(argv[6], nullptr, 10) : 1;
+
+  Rng rng(seed);
+  Graph g0 = build(graph, n, rng);
+  auto healer = make_healer(healer_name, g0);
+  auto adversary = make_adversary(adversary_name);
+
+  std::cout << "simulate: graph=" << graph << " n=" << n << " healer=" << healer->name()
+            << " adversary=" << adversary->name() << " steps=" << steps
+            << " seed=" << seed << "\n\n";
+
+  RunConfig cfg;
+  cfg.max_steps = steps;
+  cfg.sample_every = std::max(1, steps / 8);
+  cfg.stretch_sources = 24;
+  auto res = run_experiment(*healer, *adversary, cfg, rng);
+
+  Table t{"step", "alive", "n seen", "max deg ratio", "max stretch", "avg stretch",
+          "bound", "components"};
+  auto row = [&](const Sample& s) {
+    t.add(s.step, s.alive, s.total_inserted, fmt(s.degree.max_ratio),
+          fmt(s.stretch.max_stretch), fmt(s.stretch.avg_stretch),
+          std::max(1, haft::ceil_log2(std::max(2, s.total_inserted))), s.components);
+  };
+  for (const auto& s : res.timeline) row(s);
+  row(res.final);
+  t.print(std::cout);
+
+  std::cout << "\nworst over run: degree ratio " << fmt(res.worst_degree_ratio)
+            << ", stretch " << fmt(res.worst_stretch) << ", broken pairs "
+            << res.broken_pairs_total << " (" << res.deletions << " deletions, "
+            << res.insertions << " insertions)\n";
+  return 0;
+}

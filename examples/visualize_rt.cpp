@@ -1,0 +1,40 @@
+// Visualize Reconstruction Trees: emits Graphviz DOT for the virtual forest
+// as deletions merge RTs — the pictures of Figures 2, 7 and 8, generated
+// from live data structures.
+//
+//   $ ./examples/visualize_rt > rts.dot && dot -Tpng rts.dot -o rts.png
+//
+// (Each stage is printed as a separate digraph; split the file or pipe the
+// stage you want into dot.)
+#include <iostream>
+
+#include "fg/forgiving_graph.h"
+#include "graph/generators.h"
+
+int main() {
+  using namespace fg;
+  // A path 0-1-2-3-4-5; deleting 2 then 3 merges their RTs (Figure 8).
+  ForgivingGraph network(make_path(6));
+
+  auto dump_rts = [&](const char* label) {
+    std::cout << "// --- " << label << " ---\n";
+    const VirtualForest& f = network.forest();
+    for (VNodeId h = 0; h < f.arena_size(); ++h)
+      if (f.exists(h) && f.node(h).parent == kNoVNode)
+        std::cout << f.to_dot(h);
+  };
+
+  network.remove(2);
+  dump_rts("after deleting 2: RT over the real nodes (1,2) and (3,2)");
+  network.remove(3);
+  dump_rts("after deleting 3: merged RT — leaf (3,2) died, RTs re-merged");
+
+  // A star hub deletion for the Figure-2 picture.
+  ForgivingGraph star(make_star(9));
+  star.remove(0);
+  std::cout << "// --- star(8 leaves) hub deletion: the haft of Figure 2 ---\n";
+  const VirtualForest& f = star.forest();
+  for (VNodeId h = 0; h < f.arena_size(); ++h)
+    if (f.exists(h) && f.node(h).parent == kNoVNode) std::cout << f.to_dot(h);
+  return 0;
+}

@@ -1,0 +1,135 @@
+// Centralized reference implementation of the Forgiving Graph (Section 3).
+//
+// This engine executes exactly the structural algorithm of the paper —
+// insertion bookkeeping, and on each deletion the break / strip / merge of
+// Reconstruction Trees with the representative mechanism of Algorithm A.9 —
+// as one atomic step per adversarial event. It maintains:
+//
+//   * G'  — the graph of all insertions, with no deletions applied (deleted
+//           processors remain as usable path intermediaries, per the paper's
+//           success metrics);
+//   * G   — the actual healed network: the homomorphic image of G' minus the
+//           deleted processors plus the virtual forest.
+//
+// The distributed protocol (fg/dist) produces bit-identical topologies; the
+// equivalence test in tests/dist_equivalence_test.cpp relies on both engines
+// sharing haft::merge_plan and the slot_key ordering.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <span>
+#include <unordered_map>
+#include <vector>
+
+#include "fg/virtual_forest.h"
+#include "graph/graph.h"
+
+namespace fg {
+
+/// Structural statistics of the most recent deletion repair.
+struct RepairStats {
+  int affected_rts = 0;     ///< RTs broken by the deletion.
+  int pieces = 0;           ///< Perfect trees merged (incl. new leaves).
+  int new_leaves = 0;       ///< Fresh real nodes (alive direct neighbors).
+  int helpers_created = 0;  ///< Helper nodes instantiated by the merge.
+  int helpers_removed = 0;  ///< "Red" helpers discarded by stripping.
+  int64_t final_rt_leaves = 0;  ///< Leaves of the resulting RT (0 if none).
+  int deleted_degree_gprime = 0;  ///< Degree of the deleted node in G'.
+};
+
+/// The Forgiving Graph self-healing data structure (centralized engine).
+class ForgivingGraph {
+ public:
+  /// Start from a connected network G0; ids 0..n-1 become live processors.
+  explicit ForgivingGraph(const Graph& g0);
+
+  /// Adversarial insertion: a new processor attached to `neighbors` (all
+  /// alive, no duplicates). Returns the new processor id.
+  NodeId insert(std::span<const NodeId> neighbors);
+
+  /// Adversarial deletion of `v` followed by the healing repair.
+  void remove(NodeId v);
+
+  /// The actual healed network G.
+  const Graph& healed() const { return g_; }
+
+  /// The insertions-only graph G' (deleted processors still present).
+  const Graph& gprime() const { return gprime_; }
+
+  bool is_alive(NodeId v) const { return g_.is_alive(v); }
+
+  const RepairStats& last_repair() const { return last_repair_; }
+
+  /// Number of helper nodes currently simulated by processor v.
+  int helper_count(NodeId v) const;
+
+  /// Degree of v in G divided by its degree in G' (Theorem 1.1 numerator /
+  /// denominator). v must be alive and have G'-degree > 0.
+  double degree_ratio(NodeId v) const;
+
+  /// Max degree ratio over all alive processors (1.0 for an empty graph).
+  double max_degree_ratio() const;
+
+  const VirtualForest& forest() const { return forest_; }
+
+  /// Checkpoint the complete structure (G', liveness, virtual forest) to a
+  /// line-oriented text stream; `load` restores an equivalent engine whose
+  /// behaviour is indistinguishable from the original (same topology, same
+  /// future repairs). The slot table and healed image are derived state and
+  /// are rebuilt on load.
+  void save(std::ostream& os) const;
+  static ForgivingGraph load(std::istream& is);
+
+  /// Full invariant check (expensive; used by tests):
+  ///  - slot consistency with G' and liveness,
+  ///  - every RT is a haft,
+  ///  - representative invariant on every internal node,
+  ///  - each helper is an ancestor of its slot's leaf,
+  ///  - G equals the homomorphic image rebuilt from scratch.
+  void validate() const;
+
+ private:
+  ForgivingGraph() = default;  // for load()
+
+  struct Slot {
+    VNodeId leaf = kNoVNode;
+    VNodeId helper = kNoVNode;
+  };
+  struct Proc {
+    bool alive = true;
+    std::unordered_map<NodeId, Slot> slots;  // keyed by the other endpoint
+  };
+
+  static uint64_t edge_key(NodeId u, NodeId v);
+  void add_image_edge(NodeId u, NodeId v);
+  void remove_image_edge(NodeId u, NodeId v);
+
+  /// Drop the virtual edge between h and its parent from the image and
+  /// detach h (no-op on roots).
+  void detach_vnode(VNodeId h);
+
+  /// Tombstone h (children must be gone), freeing its slot registration and
+  /// its parent edge.
+  void remove_vnode(VNodeId h);
+
+  /// Break the RT rooted at `root`: remove the vnodes owned by the deleted
+  /// processor and all "red" survivors, appending the maximal clean perfect
+  /// subtrees ("pieces") to `out`.
+  void collect_pieces(VNodeId root, const std::vector<char>& is_dead_vnode,
+                      std::vector<VNodeId>* out);
+
+  /// Execute the global merge plan over `pieces`, creating helpers through
+  /// the representative mechanism; returns the final root (or the single
+  /// piece). `pieces` must be non-empty.
+  VNodeId merge_pieces(std::vector<VNodeId> pieces);
+
+  Graph gprime_;
+  Graph g_;
+  VirtualForest forest_;
+  std::vector<Proc> procs_;
+  std::unordered_map<uint64_t, int> image_multiplicity_;
+  RepairStats last_repair_;
+};
+
+}  // namespace fg

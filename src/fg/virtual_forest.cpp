@@ -1,0 +1,176 @@
+#include "fg/virtual_forest.h"
+
+#include <algorithm>
+
+#include "util/check.h"
+
+namespace fg {
+
+VNodeId VirtualForest::make_leaf(NodeId owner, NodeId other) {
+  VNode n;
+  n.owner = owner;
+  n.other = other;
+  n.is_leaf = true;
+  nodes_.push_back(n);
+  ++live_count_;
+  auto id = static_cast<VNodeId>(nodes_.size() - 1);
+  nodes_.back().rep = id;  // a real node is its own representative
+  return id;
+}
+
+VNodeId VirtualForest::make_helper(NodeId owner, NodeId other, VNodeId left,
+                                   VNodeId right) {
+  FG_CHECK(exists(left) && exists(right));
+  FG_CHECK_MSG(is_root(left) && is_root(right), "helper children must be roots");
+  VNode n;
+  n.owner = owner;
+  n.other = other;
+  n.is_leaf = false;
+  n.left = left;
+  n.right = right;
+  n.height = 1 + std::max(nodes_[left].height, nodes_[right].height);
+  n.leaf_count = nodes_[left].leaf_count + nodes_[right].leaf_count;
+  n.rep = nodes_[right].rep;  // Algorithm A.9: inherit the other tree's rep
+  nodes_.push_back(n);
+  ++live_count_;
+  auto id = static_cast<VNodeId>(nodes_.size() - 1);
+  nodes_[left].parent = id;
+  nodes_[right].parent = id;
+  return id;
+}
+
+void VirtualForest::unlink_from_parent(VNodeId child) {
+  FG_CHECK(exists(child));
+  VNodeId p = nodes_[child].parent;
+  if (p == kNoVNode) return;
+  if (nodes_[p].left == child) nodes_[p].left = kNoVNode;
+  if (nodes_[p].right == child) nodes_[p].right = kNoVNode;
+  nodes_[child].parent = kNoVNode;
+}
+
+void VirtualForest::remove(VNodeId h) {
+  FG_CHECK(exists(h));
+  FG_CHECK_MSG(nodes_[h].left == kNoVNode && nodes_[h].right == kNoVNode,
+               "remove requires children already detached");
+  unlink_from_parent(h);
+  nodes_[h].alive = false;
+  --live_count_;
+}
+
+const VirtualForest::VNode& VirtualForest::node(VNodeId h) const {
+  FG_CHECK(exists(h));
+  return nodes_[static_cast<size_t>(h)];
+}
+
+bool VirtualForest::exists(VNodeId h) const {
+  return h >= 0 && h < static_cast<VNodeId>(nodes_.size()) &&
+         nodes_[static_cast<size_t>(h)].alive;
+}
+
+VNodeId VirtualForest::root_of(VNodeId h) const {
+  FG_CHECK(exists(h));
+  while (nodes_[static_cast<size_t>(h)].parent != kNoVNode)
+    h = nodes_[static_cast<size_t>(h)].parent;
+  return h;
+}
+
+bool VirtualForest::is_perfect(VNodeId h) const {
+  const VNode& n = node(h);
+  return n.leaf_count == (int64_t{1} << n.height);
+}
+
+std::pair<int64_t, int> VirtualForest::validate_rec(VNodeId h, bool* ok) const {
+  if (!exists(h)) {
+    *ok = false;
+    return {0, 0};
+  }
+  const VNode& n = nodes_[static_cast<size_t>(h)];
+  if (n.is_leaf) {
+    if (n.left != kNoVNode || n.right != kNoVNode || n.leaf_count != 1 || n.height != 0 ||
+        n.rep != h)
+      *ok = false;
+    return {1, 0};
+  }
+  if (n.left == kNoVNode || n.right == kNoVNode) {
+    *ok = false;
+    return {0, 0};
+  }
+  if (node(n.left).parent != h || node(n.right).parent != h) *ok = false;
+  auto [ll, lh] = validate_rec(n.left, ok);
+  auto [rl, rh] = validate_rec(n.right, ok);
+  if (ll + rl != n.leaf_count || 1 + std::max(lh, rh) != n.height) *ok = false;
+  // Haft property at this node.
+  if (!is_perfect(n.left) || ll < rl) *ok = false;
+  return {ll + rl, 1 + std::max(lh, rh)};
+}
+
+bool VirtualForest::valid_haft(VNodeId root) const {
+  bool ok = exists(root);
+  if (ok) validate_rec(root, &ok);
+  return ok;
+}
+
+std::vector<VNodeId> VirtualForest::leaves_of(VNodeId root) const {
+  std::vector<VNodeId> out;
+  std::vector<VNodeId> stack{root};
+  while (!stack.empty()) {
+    VNodeId h = stack.back();
+    stack.pop_back();
+    const VNode& n = node(h);
+    if (n.is_leaf) {
+      out.push_back(h);
+      continue;
+    }
+    if (n.right != kNoVNode) stack.push_back(n.right);
+    if (n.left != kNoVNode) stack.push_back(n.left);
+  }
+  return out;
+}
+
+std::vector<VNodeId> VirtualForest::subtree_of(VNodeId root) const {
+  std::vector<VNodeId> out;
+  std::vector<VNodeId> stack{root};
+  while (!stack.empty()) {
+    VNodeId h = stack.back();
+    stack.pop_back();
+    out.push_back(h);
+    const VNode& n = node(h);
+    if (n.right != kNoVNode) stack.push_back(n.right);
+    if (n.left != kNoVNode) stack.push_back(n.left);
+  }
+  return out;
+}
+
+VirtualForest VirtualForest::from_dump(std::vector<VNode> nodes) {
+  VirtualForest f;
+  f.nodes_ = std::move(nodes);
+  f.live_count_ = 0;
+  for (const VNode& n : f.nodes_)
+    if (n.alive) ++f.live_count_;
+  return f;
+}
+
+std::string VirtualForest::to_dot(VNodeId root) const {
+  std::string out = "digraph RT {\n  rankdir=TB;\n";
+  for (VNodeId h : subtree_of(root)) {
+    const VNode& n = node(h);
+    out += "  n" + std::to_string(h) + " [label=\"(" + std::to_string(n.owner) + "," +
+           std::to_string(n.other) + ")\", shape=" + (n.is_leaf ? "box" : "ellipse") +
+           "];\n";
+    if (n.left != kNoVNode)
+      out += "  n" + std::to_string(h) + " -> n" + std::to_string(n.left) + ";\n";
+    if (n.right != kNoVNode)
+      out += "  n" + std::to_string(h) + " -> n" + std::to_string(n.right) + ";\n";
+  }
+  out += "}\n";
+  return out;
+}
+
+bool VirtualForest::is_ancestor(VNodeId anc, VNodeId h) const {
+  FG_CHECK(exists(anc) && exists(h));
+  for (VNodeId cur = h; cur != kNoVNode; cur = nodes_[static_cast<size_t>(cur)].parent)
+    if (cur == anc) return true;
+  return false;
+}
+
+}  // namespace fg

@@ -1,0 +1,113 @@
+// The virtual forest underlying the Forgiving Graph (Sections 3 and 4.2).
+//
+// Every deleted processor is replaced by a Reconstruction Tree (RT): a haft
+// whose leaves are "real nodes" — one per surviving endpoint of an edge of
+// G' incident to a deleted processor — and whose internal nodes are "helper"
+// nodes, each simulated by the processor chosen through the representative
+// mechanism. The actual network G is the homomorphic image of this forest:
+// a virtual tree edge (a, b) becomes a network edge between owner(a) and
+// owner(b); edges between two virtual nodes of the same processor vanish.
+//
+// Identity of a virtual node follows Table 1 of the paper: it is determined
+// by an edge (owner, other) of G' plus a kind bit — the *real* (leaf) node of
+// that edge, or the at-most-one *helper* node the owner simulates for it.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "graph/graph.h"
+
+namespace fg {
+
+/// Handle into the virtual node arena; -1 is "none".
+using VNodeId = int;
+constexpr VNodeId kNoVNode = -1;
+
+/// Key identifying the G' edge slot (owner, other); used as the
+/// deterministic merge tie-break (the paper's "NodeID" ordering).
+constexpr uint64_t slot_key(NodeId owner, NodeId other) {
+  return (static_cast<uint64_t>(static_cast<uint32_t>(owner)) << 32) |
+         static_cast<uint32_t>(other);
+}
+
+/// Arena of virtual nodes (RT leaves and helpers).
+class VirtualForest {
+ public:
+  struct VNode {
+    NodeId owner = kInvalidNode;  ///< Processor simulating this node.
+    NodeId other = kInvalidNode;  ///< Other endpoint of the G' edge slot.
+    bool is_leaf = true;          ///< Real node (leaf) vs helper (internal).
+    VNodeId parent = kNoVNode;
+    VNodeId left = kNoVNode;
+    VNodeId right = kNoVNode;
+    int height = 0;
+    int64_t leaf_count = 1;
+    /// Representative: the unique leaf of this subtree whose slot simulates
+    /// no helper inside this subtree (leaf nodes are their own
+    /// representative). Maintained incrementally per Algorithm A.9.
+    VNodeId rep = kNoVNode;
+    bool alive = true;
+  };
+
+  /// Create the real (leaf) node of edge slot (owner, other).
+  VNodeId make_leaf(NodeId owner, NodeId other);
+
+  /// Create a helper in slot (owner, other) joining two roots; left becomes
+  /// the left child. Representative is inherited from the right child
+  /// (Algorithm A.9). Returns the new node.
+  VNodeId make_helper(NodeId owner, NodeId other, VNodeId left, VNodeId right);
+
+  /// Detach `child` from its parent (both links cleared).
+  void unlink_from_parent(VNodeId child);
+
+  /// Tombstone a node. It must have no child links left; it is unlinked
+  /// from its parent first.
+  void remove(VNodeId h);
+
+  const VNode& node(VNodeId h) const;
+  bool exists(VNodeId h) const;
+  VNodeId root_of(VNodeId h) const;
+  bool is_root(VNodeId h) const { return node(h).parent == kNoVNode; }
+
+  /// Perfect (the paper's "complete"): leaf_count == 2^height.
+  bool is_perfect(VNodeId h) const;
+
+  int live_count() const { return live_count_; }
+
+  /// Total handles ever allocated (live + tombstoned); handles are
+  /// 0..arena_size()-1 and `exists` filters the live ones.
+  int arena_size() const { return static_cast<int>(nodes_.size()); }
+
+  /// Structural validation of the subtree at `root`: parent/child link
+  /// symmetry, height/leaf_count bookkeeping, haft property (left child
+  /// perfect and at least as leafy as the right).
+  bool valid_haft(VNodeId root) const;
+
+  /// All leaves of the subtree, left-to-right.
+  std::vector<VNodeId> leaves_of(VNodeId root) const;
+
+  /// All nodes of the subtree (preorder).
+  std::vector<VNodeId> subtree_of(VNodeId root) const;
+
+  /// True iff `anc` is an ancestor of `h` (or equal).
+  bool is_ancestor(VNodeId anc, VNodeId h) const;
+
+  /// Graphviz rendering of the RT at `root`: leaves as boxes labelled
+  /// "(owner,other)", helpers as ellipses. Handy for docs and debugging.
+  std::string to_dot(VNodeId root) const;
+
+  /// Snapshot / restore of the whole arena (including tombstones, so node
+  /// handles survive a round-trip). Used by ForgivingGraph::save/load.
+  const std::vector<VNode>& dump() const { return nodes_; }
+  static VirtualForest from_dump(std::vector<VNode> nodes);
+
+ private:
+  std::pair<int64_t, int> validate_rec(VNodeId h, bool* ok) const;
+
+  std::vector<VNode> nodes_;
+  int live_count_ = 0;
+};
+
+}  // namespace fg

@@ -1,0 +1,77 @@
+#include "graph/algorithms.h"
+
+#include <algorithm>
+#include <deque>
+
+#include "util/check.h"
+
+namespace fg {
+
+std::vector<int> bfs_distances(const Graph& g, NodeId src) {
+  FG_CHECK(g.is_alive(src));
+  std::vector<int> dist(static_cast<size_t>(g.node_capacity()), -1);
+  std::deque<NodeId> q;
+  dist[src] = 0;
+  q.push_back(src);
+  while (!q.empty()) {
+    NodeId v = q.front();
+    q.pop_front();
+    for (NodeId w : g.neighbors(v)) {
+      if (dist[w] == -1) {
+        dist[w] = dist[v] + 1;
+        q.push_back(w);
+      }
+    }
+  }
+  return dist;
+}
+
+int connected_components(const Graph& g) {
+  std::vector<char> seen(static_cast<size_t>(g.node_capacity()), 0);
+  int components = 0;
+  for (NodeId v : g.alive_nodes()) {
+    if (seen[v]) continue;
+    ++components;
+    std::deque<NodeId> q{v};
+    seen[v] = 1;
+    while (!q.empty()) {
+      NodeId x = q.front();
+      q.pop_front();
+      for (NodeId w : g.neighbors(x)) {
+        if (!seen[w]) {
+          seen[w] = 1;
+          q.push_back(w);
+        }
+      }
+    }
+  }
+  return components;
+}
+
+bool is_connected(const Graph& g) { return connected_components(g) <= 1; }
+
+int eccentricity(const Graph& g, NodeId src) {
+  auto dist = bfs_distances(g, src);
+  int ecc = 0;
+  for (int d : dist) ecc = std::max(ecc, d);
+  return ecc;
+}
+
+int diameter_lower_bound(const Graph& g, NodeId hint) {
+  auto alive = g.alive_nodes();
+  if (alive.size() <= 1) return 0;
+  NodeId start = (hint != kInvalidNode && g.is_alive(hint)) ? hint : alive.front();
+  auto d1 = bfs_distances(g, start);
+  NodeId far = start;
+  for (NodeId v : alive)
+    if (d1[v] > d1[far]) far = v;
+  return eccentricity(g, far);
+}
+
+int exact_diameter(const Graph& g) {
+  int diam = 0;
+  for (NodeId v : g.alive_nodes()) diam = std::max(diam, eccentricity(g, v));
+  return diam;
+}
+
+}  // namespace fg

@@ -1,0 +1,32 @@
+// Graph algorithms used by the metrics pipeline: BFS distances, connectivity,
+// components, eccentricity / diameter estimation.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/graph.h"
+
+namespace fg {
+
+/// Distance (hop count) from `src` to every node id; -1 if unreachable or
+/// dead. `src` must be alive.
+std::vector<int> bfs_distances(const Graph& g, NodeId src);
+
+/// Number of connected components among alive nodes (0 for the empty graph).
+int connected_components(const Graph& g);
+
+/// True iff all alive nodes are in one component (vacuously true for <=1).
+bool is_connected(const Graph& g);
+
+/// Eccentricity of `src` restricted to its component.
+int eccentricity(const Graph& g, NodeId src);
+
+/// Two-sweep BFS lower bound on the diameter (exact on trees). Returns 0 for
+/// graphs with <= 1 alive node.
+int diameter_lower_bound(const Graph& g, NodeId hint = kInvalidNode);
+
+/// Exact diameter by all-pairs BFS; intended for n up to a few thousand.
+int exact_diameter(const Graph& g);
+
+}  // namespace fg

@@ -1,0 +1,136 @@
+#include "graph/generators.h"
+
+#include <algorithm>
+#include <deque>
+
+#include "graph/algorithms.h"
+#include "util/check.h"
+
+namespace fg {
+
+Graph make_star(int n) {
+  FG_CHECK(n >= 1);
+  Graph g(n);
+  for (NodeId v = 1; v < n; ++v) g.add_edge(0, v);
+  return g;
+}
+
+Graph make_path(int n) {
+  FG_CHECK(n >= 1);
+  Graph g(n);
+  for (NodeId v = 0; v + 1 < n; ++v) g.add_edge(v, v + 1);
+  return g;
+}
+
+Graph make_cycle(int n) {
+  FG_CHECK(n >= 3);
+  Graph g = make_path(n);
+  g.add_edge(n - 1, 0);
+  return g;
+}
+
+Graph make_grid(int rows, int cols) {
+  FG_CHECK(rows >= 1 && cols >= 1);
+  Graph g(rows * cols);
+  auto id = [cols](int r, int c) { return static_cast<NodeId>(r * cols + c); };
+  for (int r = 0; r < rows; ++r) {
+    for (int c = 0; c < cols; ++c) {
+      if (c + 1 < cols) g.add_edge(id(r, c), id(r, c + 1));
+      if (r + 1 < rows) g.add_edge(id(r, c), id(r + 1, c));
+    }
+  }
+  return g;
+}
+
+Graph make_complete(int n) {
+  FG_CHECK(n >= 1);
+  Graph g(n);
+  for (NodeId u = 0; u < n; ++u)
+    for (NodeId v = u + 1; v < n; ++v) g.add_edge(u, v);
+  return g;
+}
+
+Graph make_binary_tree(int n) {
+  FG_CHECK(n >= 1);
+  Graph g(n);
+  for (NodeId v = 1; v < n; ++v) g.add_edge(v, (v - 1) / 2);
+  return g;
+}
+
+Graph make_random_tree(int n, Rng& rng) {
+  FG_CHECK(n >= 1);
+  Graph g(n);
+  for (NodeId v = 1; v < n; ++v)
+    g.add_edge(v, static_cast<NodeId>(rng.next_below(static_cast<uint64_t>(v))));
+  return g;
+}
+
+Graph make_erdos_renyi(int n, double p, Rng& rng) {
+  FG_CHECK(n >= 1);
+  FG_CHECK(p >= 0.0 && p <= 1.0);
+  Graph g(n);
+  for (NodeId u = 0; u < n; ++u)
+    for (NodeId v = u + 1; v < n; ++v)
+      if (rng.next_bool(p)) g.add_edge(u, v);
+
+  // Patch to connectivity: attach every secondary component to component 0.
+  std::vector<int> comp(static_cast<size_t>(n), -1);
+  int ncomp = 0;
+  for (NodeId v = 0; v < n; ++v) {
+    if (comp[v] != -1) continue;
+    std::deque<NodeId> q{v};
+    comp[v] = ncomp;
+    while (!q.empty()) {
+      NodeId x = q.front();
+      q.pop_front();
+      for (NodeId w : g.neighbors(x))
+        if (comp[w] == -1) {
+          comp[w] = ncomp;
+          q.push_back(w);
+        }
+    }
+    ++ncomp;
+  }
+  if (ncomp > 1) {
+    std::vector<NodeId> rep(static_cast<size_t>(ncomp), kInvalidNode);
+    for (NodeId v = 0; v < n; ++v)
+      if (rep[comp[v]] == kInvalidNode) rep[comp[v]] = v;
+    std::vector<NodeId> comp0;
+    for (NodeId v = 0; v < n; ++v)
+      if (comp[v] == 0) comp0.push_back(v);
+    for (int c = 1; c < ncomp; ++c) g.add_edge(rep[c], rng.pick(comp0));
+  }
+  return g;
+}
+
+Graph make_barabasi_albert(int n, int m, Rng& rng) {
+  FG_CHECK(m >= 1);
+  FG_CHECK(n > m);
+  Graph g(n);
+  // Seed: complete graph over the first m+1 nodes.
+  for (NodeId u = 0; u <= m; ++u)
+    for (NodeId v = u + 1; v <= m; ++v) g.add_edge(u, v);
+
+  // Degree-proportional sampling via the repeated-endpoints trick.
+  std::vector<NodeId> endpoints;
+  for (NodeId u = 0; u <= m; ++u)
+    for (int k = 0; k <= m; ++k)
+      if (k != u) endpoints.push_back(u);
+
+  for (NodeId v = m + 1; v < n; ++v) {
+    std::vector<NodeId> targets;
+    while (static_cast<int>(targets.size()) < m) {
+      NodeId t = rng.pick(endpoints);
+      if (t != v && std::find(targets.begin(), targets.end(), t) == targets.end())
+        targets.push_back(t);
+    }
+    for (NodeId t : targets) {
+      g.add_edge(v, t);
+      endpoints.push_back(v);
+      endpoints.push_back(t);
+    }
+  }
+  return g;
+}
+
+}  // namespace fg

@@ -1,0 +1,43 @@
+// Seed-graph generators for the experiment harness.
+//
+// Every generator returns a *connected* graph over ids 0..n-1: the paper's
+// model starts from a connected network, and all of its guarantees are
+// stated relative to that starting point.
+#pragma once
+
+#include "graph/graph.h"
+#include "util/rng.h"
+
+namespace fg {
+
+/// Star: node 0 is the hub, nodes 1..n-1 are leaves. Used in Theorem 2.
+Graph make_star(int n);
+
+/// Simple path 0-1-...-n-1.
+Graph make_path(int n);
+
+/// Cycle over n >= 3 nodes.
+Graph make_cycle(int n);
+
+/// rows x cols grid.
+Graph make_grid(int rows, int cols);
+
+/// Complete graph K_n.
+Graph make_complete(int n);
+
+/// Complete binary tree over n nodes (heap indexing).
+Graph make_binary_tree(int n);
+
+/// Uniform random labelled tree (random attachment).
+Graph make_random_tree(int n, Rng& rng);
+
+/// Erdos-Renyi G(n, p), patched to connectivity by linking each non-giant
+/// component to a random node of the giant with one extra edge.
+Graph make_erdos_renyi(int n, double p, Rng& rng);
+
+/// Barabasi-Albert preferential attachment: each new node attaches `m`
+/// edges; degree distribution is a power law, matching the cascading-failure
+/// literature the paper's related-work section discusses.
+Graph make_barabasi_albert(int n, int m, Rng& rng);
+
+}  // namespace fg

@@ -1,0 +1,110 @@
+#include "graph/graph.h"
+
+#include <algorithm>
+
+#include "util/check.h"
+
+namespace fg {
+
+Graph::Graph(int n) {
+  FG_CHECK(n >= 0);
+  adj_.resize(static_cast<size_t>(n));
+  alive_.assign(static_cast<size_t>(n), 1);
+  alive_count_ = n;
+}
+
+NodeId Graph::add_node() {
+  adj_.emplace_back();
+  alive_.push_back(1);
+  ++alive_count_;
+  return static_cast<NodeId>(adj_.size() - 1);
+}
+
+void Graph::ensure_node(NodeId id) {
+  FG_CHECK(id >= 0);
+  while (node_capacity() <= id) add_node();
+}
+
+void Graph::remove_node(NodeId v) {
+  check_valid(v);
+  FG_CHECK_MSG(alive_[v], "removing a dead node");
+  for (NodeId u : adj_[v]) {
+    adj_[u].erase(v);
+    --edge_count_;
+  }
+  adj_[v].clear();
+  alive_[v] = 0;
+  --alive_count_;
+}
+
+bool Graph::add_edge(NodeId u, NodeId v) {
+  check_valid(u);
+  check_valid(v);
+  FG_CHECK_MSG(u != v, "self loop");
+  FG_CHECK_MSG(alive_[u] && alive_[v], "edge endpoint is dead");
+  if (adj_[u].contains(v)) return false;
+  adj_[u].insert(v);
+  adj_[v].insert(u);
+  ++edge_count_;
+  return true;
+}
+
+bool Graph::remove_edge(NodeId u, NodeId v) {
+  check_valid(u);
+  check_valid(v);
+  if (!adj_[u].contains(v)) return false;
+  adj_[u].erase(v);
+  adj_[v].erase(u);
+  --edge_count_;
+  return true;
+}
+
+bool Graph::has_edge(NodeId u, NodeId v) const {
+  check_valid(u);
+  check_valid(v);
+  return adj_[u].contains(v);
+}
+
+bool Graph::is_alive(NodeId v) const {
+  if (v < 0 || v >= node_capacity()) return false;
+  return alive_[v] != 0;
+}
+
+int Graph::degree(NodeId v) const {
+  check_valid(v);
+  return static_cast<int>(adj_[v].size());
+}
+
+const std::unordered_set<NodeId>& Graph::neighbors(NodeId v) const {
+  check_valid(v);
+  return adj_[v];
+}
+
+std::vector<NodeId> Graph::alive_nodes() const {
+  std::vector<NodeId> out;
+  out.reserve(static_cast<size_t>(alive_count_));
+  for (NodeId v = 0; v < node_capacity(); ++v)
+    if (alive_[v]) out.push_back(v);
+  return out;
+}
+
+bool Graph::same_topology(const Graph& other) const {
+  if (alive_count_ != other.alive_count_) return false;
+  if (edge_count_ != other.edge_count_) return false;
+  int cap = std::min(node_capacity(), other.node_capacity());
+  for (NodeId v = 0; v < node_capacity(); ++v)
+    if (alive_[v] && (v >= cap || !other.alive_[v])) return false;
+  for (NodeId v = 0; v < other.node_capacity(); ++v)
+    if (other.alive_[v] && (v >= cap || !alive_[v])) return false;
+  for (NodeId v = 0; v < cap; ++v) {
+    if (!alive_[v]) continue;
+    if (adj_[v] != other.adj_[v]) return false;
+  }
+  return true;
+}
+
+void Graph::check_valid(NodeId v) const {
+  FG_CHECK_MSG(v >= 0 && v < node_capacity(), "node id out of range");
+}
+
+}  // namespace fg

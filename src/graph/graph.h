@@ -1,0 +1,78 @@
+// Dynamic undirected simple graph.
+//
+// This is the shared substrate for the whole repository: the healed network
+// G, the insertions-only reference graph G', and every baseline healer
+// operate on Graph. Node ids are small dense integers handed out by the
+// caller (the experiment harness allocates them consecutively); removal
+// leaves a tombstone so ids are never reused, matching the paper's model in
+// which a deleted processor never returns.
+#pragma once
+
+#include <cstdint>
+#include <unordered_set>
+#include <vector>
+
+namespace fg {
+
+/// Processor / vertex identifier. Dense, non-negative, never reused.
+using NodeId = int32_t;
+
+constexpr NodeId kInvalidNode = -1;
+
+/// Undirected simple graph with tombstoned deletion.
+class Graph {
+ public:
+  Graph() = default;
+
+  /// Create `n` initial nodes with ids 0..n-1 and no edges.
+  explicit Graph(int n);
+
+  /// Add a new node and return its id (ids are consecutive).
+  NodeId add_node();
+
+  /// Ensure ids [0, id] exist (used when mirroring another graph's ids).
+  void ensure_node(NodeId id);
+
+  /// Remove a node and all incident edges. The id becomes dead forever.
+  void remove_node(NodeId v);
+
+  /// Add an undirected edge. Returns false if it already existed.
+  /// Both endpoints must be alive; self loops are rejected.
+  bool add_edge(NodeId u, NodeId v);
+
+  /// Remove an undirected edge. Returns false if it did not exist.
+  bool remove_edge(NodeId u, NodeId v);
+
+  bool has_edge(NodeId u, NodeId v) const;
+  bool is_alive(NodeId v) const;
+
+  /// Number of ids ever created (alive + dead).
+  int node_capacity() const { return static_cast<int>(adj_.size()); }
+
+  /// Number of alive nodes.
+  int alive_count() const { return alive_count_; }
+
+  /// Number of edges (between alive nodes; dead nodes have none).
+  int64_t edge_count() const { return edge_count_; }
+
+  int degree(NodeId v) const;
+
+  const std::unordered_set<NodeId>& neighbors(NodeId v) const;
+
+  /// All alive node ids in increasing order.
+  std::vector<NodeId> alive_nodes() const;
+
+  /// Deep equality on alive nodes and edges (used by the centralized vs
+  /// distributed equivalence tests).
+  bool same_topology(const Graph& other) const;
+
+ private:
+  void check_valid(NodeId v) const;
+
+  std::vector<std::unordered_set<NodeId>> adj_;
+  std::vector<char> alive_;
+  int alive_count_ = 0;
+  int64_t edge_count_ = 0;
+};
+
+}  // namespace fg

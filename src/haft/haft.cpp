@@ -1,0 +1,311 @@
+#include "haft/haft.h"
+
+#include <algorithm>
+#include <bit>
+
+#include "util/check.h"
+
+namespace fg::haft {
+
+int ceil_log2(int64_t l) {
+  FG_CHECK(l >= 1);
+  if (l == 1) return 0;
+  return std::bit_width(static_cast<uint64_t>(l - 1));
+}
+
+namespace {
+
+struct Item {
+  int64_t size;
+  uint64_t key;
+  int idx;
+};
+
+bool item_less(const Item& a, const Item& b) {
+  if (a.size != b.size) return a.size < b.size;
+  if (a.key != b.key) return a.key < b.key;
+  return a.idx < b.idx;
+}
+
+}  // namespace
+
+namespace {
+std::vector<MergeStep> plan_impl(std::vector<PieceInfo> pieces, bool chain);
+}  // namespace
+
+std::vector<MergeStep> merge_plan(std::vector<PieceInfo> pieces) {
+  return plan_impl(std::move(pieces), /*chain=*/true);
+}
+
+std::vector<MergeStep> carry_plan(std::vector<PieceInfo> pieces) {
+  return plan_impl(std::move(pieces), /*chain=*/false);
+}
+
+namespace {
+std::vector<MergeStep> plan_impl(std::vector<PieceInfo> pieces, bool chain) {
+  for (const auto& p : pieces) FG_CHECK_MSG(is_pow2(p.leaf_count), "piece not perfect");
+  const int k = static_cast<int>(pieces.size());
+  std::vector<MergeStep> plan;
+  if (k <= 1) return plan;
+
+  std::vector<Item> items;
+  items.reserve(pieces.size());
+  for (int i = 0; i < k; ++i) items.push_back({pieces[i].leaf_count, pieces[i].key, i});
+  std::sort(items.begin(), items.end(), item_less);
+
+  int next_idx = k;
+
+  // Phase 1 (Algorithm A.9 lines 5-19): binary addition with carries — pair
+  // adjacent equal-sized trees; the merged tree re-enters the sorted list and
+  // scanning resumes just before the insertion point so carries cascade.
+  size_t i = 0;
+  while (i + 1 < items.size()) {
+    if (items[i].size != items[i + 1].size) {
+      ++i;
+      continue;
+    }
+    MergeStep step{items[i].idx, items[i + 1].idx, next_idx++};
+    plan.push_back(step);
+    Item merged{items[i].size * 2, std::min(items[i].key, items[i + 1].key), step.result};
+    items.erase(items.begin() + static_cast<long>(i), items.begin() + static_cast<long>(i) + 2);
+    auto pos = std::lower_bound(items.begin(), items.end(), merged, item_less);
+    FG_CHECK(static_cast<size_t>(pos - items.begin()) >= i);  // list stays sorted
+    items.insert(pos, merged);
+    // Continue at i: the merged (strictly bigger) piece landed at or after i,
+    // so the element now at i is the next still-unpaired piece.
+  }
+
+  // Phase 2 (lines 20-28): all sizes now distinct; chain ascending, always
+  // making the next (strictly bigger) tree the left child. Because the sizes
+  // are distinct powers of two, the accumulated haft is always smaller than
+  // the next tree, which keeps the haft property.
+  if (chain) {
+    for (size_t j = 0; j + 1 < items.size(); ++j) {
+      MergeStep step{items[j + 1].idx, items[j].idx, next_idx++};
+      plan.push_back(step);
+      items[j + 1] = {items[j + 1].size + items[j].size,
+                      std::min(items[j].key, items[j + 1].key), step.result};
+    }
+  }
+  return plan;
+}
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// HaftForest
+
+int HaftForest::make_leaf(uint64_t label) {
+  Node n;
+  n.label = label;
+  nodes_.push_back(n);
+  ++live_count_;
+  return static_cast<int>(nodes_.size() - 1);
+}
+
+int HaftForest::join(int left, int right) {
+  FG_CHECK(exists(left) && exists(right));
+  FG_CHECK_MSG(nodes_[left].parent == -1 && nodes_[right].parent == -1,
+               "join operands must be roots");
+  Node n;
+  n.is_leaf = false;
+  n.left = left;
+  n.right = right;
+  n.height = 1 + std::max(nodes_[left].height, nodes_[right].height);
+  n.leaf_count = nodes_[left].leaf_count + nodes_[right].leaf_count;
+  nodes_.push_back(n);
+  ++live_count_;
+  int h = static_cast<int>(nodes_.size() - 1);
+  nodes_[left].parent = h;
+  nodes_[right].parent = h;
+  return h;
+}
+
+int HaftForest::build(int64_t l, uint64_t first_label) {
+  FG_CHECK(l >= 1);
+  std::vector<int> leaves;
+  leaves.reserve(static_cast<size_t>(l));
+  for (int64_t i = 0; i < l; ++i) leaves.push_back(make_leaf(first_label + static_cast<uint64_t>(i)));
+  return merge(leaves);
+}
+
+std::vector<int> HaftForest::strip(int root) {
+  FG_CHECK(exists(root));
+  FG_CHECK(nodes_[root].parent == -1);
+  FG_CHECK_MSG(is_haft(root), "strip requires a haft");
+  std::vector<int> out;
+  int cur = root;
+  // Walk the right spine (the "direct path towards the rightmost leaf"),
+  // peeling off the complete left subtrees; the peeled nodes are exactly the
+  // h-1 square-box nodes of Figure 3(b).
+  while (!is_perfect(cur)) {
+    int l = nodes_[cur].left;
+    int r = nodes_[cur].right;
+    FG_CHECK_MSG(is_perfect(l), "left child of a haft node must be complete");
+    detach(l);
+    detach(r);
+    out.push_back(l);
+    tombstone(cur);
+    cur = r;
+  }
+  out.push_back(cur);
+  return out;
+}
+
+std::vector<int> HaftForest::strip_fragment(int root) {
+  FG_CHECK(exists(root));
+  FG_CHECK(nodes_[root].parent == -1);
+  std::vector<int> out;
+  collect_perfect(root, &out);
+  return out;
+}
+
+void HaftForest::collect_perfect(int h, std::vector<int>* out) {
+  if (is_perfect(h)) {
+    detach(h);
+    out->push_back(h);
+    return;
+  }
+  int l = nodes_[h].left;
+  int r = nodes_[h].right;
+  if (l != -1) collect_perfect(l, out);
+  if (r != -1) collect_perfect(r, out);
+  tombstone(h);
+}
+
+int HaftForest::merge(const std::vector<int>& roots) {
+  FG_CHECK(!roots.empty());
+  std::vector<int> piece_handles;
+  for (int r : roots) {
+    auto pieces = strip_fragment(r);
+    piece_handles.insert(piece_handles.end(), pieces.begin(), pieces.end());
+  }
+  if (piece_handles.size() == 1) return piece_handles.front();
+
+  std::vector<PieceInfo> infos;
+  infos.reserve(piece_handles.size());
+  for (int h : piece_handles) {
+    // Deterministic key: the smallest leaf label in the piece.
+    auto labels = leaf_labels(h);
+    uint64_t key = *std::min_element(labels.begin(), labels.end());
+    infos.push_back({nodes_[h].leaf_count, key});
+  }
+  auto plan = merge_plan(std::move(infos));
+  for (const auto& step : plan) {
+    int made = join(piece_handles[static_cast<size_t>(step.left)],
+                    piece_handles[static_cast<size_t>(step.right)]);
+    FG_CHECK(static_cast<int>(piece_handles.size()) == step.result);
+    piece_handles.push_back(made);
+  }
+  int result = piece_handles.back();
+  FG_CHECK_MSG(is_haft(result), "merge must produce a haft");
+  return result;
+}
+
+void HaftForest::detach(int h) {
+  FG_CHECK(exists(h));
+  int p = nodes_[h].parent;
+  if (p == -1) return;
+  if (nodes_[p].left == h) nodes_[p].left = -1;
+  if (nodes_[p].right == h) nodes_[p].right = -1;
+  nodes_[h].parent = -1;
+}
+
+const HaftForest::Node& HaftForest::node(int h) const {
+  FG_CHECK(exists(h));
+  return nodes_[static_cast<size_t>(h)];
+}
+
+bool HaftForest::exists(int h) const {
+  return h >= 0 && h < static_cast<int>(nodes_.size()) && nodes_[static_cast<size_t>(h)].alive;
+}
+
+int HaftForest::root_of(int h) const {
+  FG_CHECK(exists(h));
+  while (nodes_[static_cast<size_t>(h)].parent != -1) h = nodes_[static_cast<size_t>(h)].parent;
+  return h;
+}
+
+bool HaftForest::is_perfect(int h) const {
+  const Node& n = node(h);
+  return n.leaf_count == (int64_t{1} << n.height);
+}
+
+bool HaftForest::is_primary_root(int h) const {
+  const Node& n = node(h);
+  if (!is_perfect(h)) return false;
+  return n.parent == -1 || !is_perfect(n.parent);
+}
+
+namespace {
+// Recompute (leaves, height) and verify the stored fields; returns false on
+// any structural inconsistency.
+struct Validator {
+  const HaftForest& f;
+  bool ok = true;
+
+  std::pair<int64_t, int> visit(int h) {
+    if (!f.exists(h)) {
+      ok = false;
+      return {0, 0};
+    }
+    const auto& n = f.node(h);
+    if (n.is_leaf) {
+      if (n.left != -1 || n.right != -1 || n.leaf_count != 1 || n.height != 0) ok = false;
+      return {1, 0};
+    }
+    if (n.left == -1 || n.right == -1) {
+      ok = false;
+      return {0, 0};
+    }
+    if (f.node(n.left).parent != h || f.node(n.right).parent != h) ok = false;
+    auto [ll, lh] = visit(n.left);
+    auto [rl, rh] = visit(n.right);
+    int64_t leaves = ll + rl;
+    int height = 1 + std::max(lh, rh);
+    if (leaves != n.leaf_count || height != n.height) ok = false;
+    // Haft property: the left child roots a complete subtree holding at
+    // least half the leaves.
+    if (!(f.node(n.left).leaf_count == (int64_t{1} << f.node(n.left).height))) ok = false;
+    if (ll < rl) ok = false;
+    return {leaves, height};
+  }
+};
+}  // namespace
+
+bool HaftForest::is_haft(int root) const {
+  if (!exists(root)) return false;
+  Validator v{*this};
+  v.visit(root);
+  return v.ok;
+}
+
+std::vector<uint64_t> HaftForest::leaf_labels(int root) const {
+  std::vector<uint64_t> out;
+  std::vector<int> stack{root};
+  while (!stack.empty()) {
+    int h = stack.back();
+    stack.pop_back();
+    const Node& n = node(h);
+    if (n.is_leaf) {
+      out.push_back(n.label);
+      continue;
+    }
+    // Right pushed first so that the left subtree is emitted first.
+    if (n.right != -1) stack.push_back(n.right);
+    if (n.left != -1) stack.push_back(n.left);
+  }
+  return out;
+}
+
+int HaftForest::depth(int root) const { return node(root).height; }
+
+void HaftForest::tombstone(int h) {
+  FG_CHECK(exists(h));
+  detach(h);
+  nodes_[static_cast<size_t>(h)].alive = false;
+  nodes_[static_cast<size_t>(h)].left = -1;
+  nodes_[static_cast<size_t>(h)].right = -1;
+  --live_count_;
+}
+
+}  // namespace fg::haft

@@ -1,0 +1,56 @@
+#include "harness/experiment.h"
+
+#include <algorithm>
+
+#include "graph/algorithms.h"
+#include "util/check.h"
+
+namespace fg {
+namespace {
+
+Sample take_sample(int step, Healer& healer, const RunConfig& cfg, Rng& rng) {
+  Sample s;
+  s.step = step;
+  s.alive = healer.healed().alive_count();
+  s.total_inserted = healer.gprime().node_capacity();
+  s.degree = degree_stats(healer.healed(), healer.gprime());
+  s.stretch = sample_stretch(healer.healed(), healer.gprime(), cfg.stretch_sources, rng);
+  s.components = cfg.track_components ? connected_components(healer.healed()) : -1;
+  return s;
+}
+
+}  // namespace
+
+RunResult run_experiment(Healer& healer, Adversary& adversary, const RunConfig& cfg,
+                         Rng& rng) {
+  RunResult out;
+  auto absorb = [&](const Sample& s) {
+    out.worst_degree_ratio = std::max(out.worst_degree_ratio, s.degree.max_ratio);
+    out.worst_stretch = std::max(out.worst_stretch, s.stretch.max_stretch);
+    out.broken_pairs_total += s.stretch.broken_pairs;
+  };
+
+  int step = 0;
+  for (; step < cfg.max_steps; ++step) {
+    auto action = adversary.next(healer, rng);
+    if (!action) break;
+    if (action->kind == Action::Kind::kDelete) {
+      healer.remove(action->target);
+      ++out.deletions;
+    } else {
+      healer.insert(action->neighbors);
+      ++out.insertions;
+    }
+    if (cfg.on_step) cfg.on_step(step, *action, healer);
+    if (cfg.sample_every > 0 && (step + 1) % cfg.sample_every == 0) {
+      out.timeline.push_back(take_sample(step + 1, healer, cfg, rng));
+      absorb(out.timeline.back());
+    }
+  }
+
+  out.final = take_sample(step, healer, cfg, rng);
+  absorb(out.final);
+  return out;
+}
+
+}  // namespace fg

@@ -1,0 +1,52 @@
+// Experiment runner: drives a Healer through an Adversary's schedule and
+// samples the paper's success metrics along the way. Every bench binary in
+// bench/ is a thin wrapper over this runner plus a Table printer.
+#pragma once
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "adversary/adversary.h"
+#include "harness/metrics.h"
+#include "heal/healer.h"
+#include "util/rng.h"
+
+namespace fg {
+
+/// One sampled point of an experiment run.
+struct Sample {
+  int step = 0;           ///< Adversarial steps executed so far.
+  int alive = 0;          ///< Alive processors.
+  int total_inserted = 0; ///< Nodes ever seen (the paper's n).
+  DegreeStats degree;
+  StretchStats stretch;
+  int components = 0;
+};
+
+struct RunResult {
+  std::vector<Sample> timeline;
+  Sample final;  ///< Metrics after the last step.
+  /// Worst values seen across all sampled points.
+  double worst_degree_ratio = 1.0;
+  double worst_stretch = 1.0;
+  int64_t broken_pairs_total = 0;
+  int deletions = 0;
+  int insertions = 0;
+};
+
+struct RunConfig {
+  int max_steps = 1000;
+  int sample_every = 50;   ///< Metric sampling cadence (metrics are costly).
+  int stretch_sources = 32;
+  bool track_components = true;
+  /// Optional per-step hook (e.g. repair-cost collection).
+  std::function<void(int step, const Action&, Healer&)> on_step;
+};
+
+/// Run the adversary against the healer, sampling metrics periodically and
+/// at the end. Deterministic for a fixed seed.
+RunResult run_experiment(Healer& healer, Adversary& adversary, const RunConfig& cfg,
+                         Rng& rng);
+
+}  // namespace fg

@@ -1,0 +1,80 @@
+#include "harness/metrics.h"
+
+#include <algorithm>
+
+#include "graph/algorithms.h"
+#include "util/check.h"
+
+namespace fg {
+
+StretchStats sample_stretch(const Graph& g, const Graph& gp, int max_sources, Rng& rng) {
+  StretchStats out;
+  auto alive = g.alive_nodes();
+  if (alive.size() < 2) return out;
+
+  std::vector<NodeId> sources = alive;
+  if (static_cast<int>(sources.size()) > max_sources) {
+    rng.shuffle(sources);
+    sources.resize(static_cast<size_t>(max_sources));
+  }
+
+  double sum = 0.0;
+  for (NodeId s : sources) {
+    FG_CHECK(gp.is_alive(s));
+    auto dg = bfs_distances(g, s);
+    auto dp = bfs_distances(gp, s);
+    for (NodeId t : alive) {
+      if (t == s) continue;
+      // G' may connect x,y only through deleted intermediaries; dp uses them.
+      if (dp[t] <= 0) continue;  // not connected even in G'
+      if (dg[t] < 0) {
+        ++out.broken_pairs;
+        continue;
+      }
+      double ratio = static_cast<double>(dg[t]) / dp[t];
+      out.max_stretch = std::max(out.max_stretch, ratio);
+      sum += ratio;
+      ++out.pairs;
+    }
+  }
+  if (out.pairs > 0) out.avg_stretch = sum / static_cast<double>(out.pairs);
+  return out;
+}
+
+EdgeSpanStats edge_span_stats(const Graph& g, const Graph& gp) {
+  EdgeSpanStats out;
+  int64_t total = 0;
+  for (NodeId u : g.alive_nodes()) {
+    std::vector<int> dp;  // lazily computed G'-BFS from u
+    for (NodeId w : g.neighbors(u)) {
+      if (u > w || gp.has_edge(u, w)) continue;  // original edge or seen pair
+      if (dp.empty()) dp = bfs_distances(gp, u);
+      FG_CHECK_MSG(dp[w] > 0, "healer added an edge across a G' cut");
+      ++out.added_edges;
+      total += dp[w];
+      out.max_span = std::max(out.max_span, dp[w]);
+      if (dp[w] <= 2) ++out.span_le_2;
+    }
+  }
+  if (out.added_edges > 0) out.avg_span = static_cast<double>(total) / out.added_edges;
+  return out;
+}
+
+DegreeStats degree_stats(const Graph& g, const Graph& gp) {
+  DegreeStats out;
+  double sum = 0.0;
+  int counted = 0;
+  for (NodeId v : g.alive_nodes()) {
+    out.max_degree_g = std::max(out.max_degree_g, g.degree(v));
+    int dpv = gp.degree(v);
+    if (dpv == 0) continue;
+    double r = static_cast<double>(g.degree(v)) / dpv;
+    out.max_ratio = std::max(out.max_ratio, r);
+    sum += r;
+    ++counted;
+  }
+  if (counted > 0) out.avg_ratio = sum / counted;
+  return out;
+}
+
+}  // namespace fg

@@ -1,0 +1,56 @@
+// Success metrics of the paper's model (Figure 1):
+//   1. degree increase  max_v deg(v, G) / deg(v, G')
+//   2. network stretch  max_{x,y} dist(x,y,G) / dist(x,y,G')
+// plus connectivity accounting for baselines that can break the network.
+//
+// Stretch over all pairs is quadratic, so it is sampled: BFS from up to
+// `max_sources` alive sources in both G and G' and the ratio is taken over
+// every alive destination. For source counts >= the alive population this is
+// exact.
+#pragma once
+
+#include <cstdint>
+
+#include "graph/graph.h"
+#include "util/rng.h"
+
+namespace fg {
+
+struct StretchStats {
+  double max_stretch = 1.0;
+  double avg_stretch = 1.0;
+  int64_t pairs = 0;
+  /// Pairs connected in G' but not in G: nonzero means the healer failed to
+  /// preserve connectivity (only baselines do this).
+  int64_t broken_pairs = 0;
+};
+
+/// Sampled stretch of g relative to gp. Both graphs must contain the same
+/// alive ids (g may be missing nodes never inserted — callers pass matching
+/// views). Pairs at G'-distance 0 (same node) are skipped.
+StretchStats sample_stretch(const Graph& g, const Graph& gp, int max_sources, Rng& rng);
+
+struct DegreeStats {
+  double max_ratio = 1.0;
+  double avg_ratio = 1.0;
+  int max_degree_g = 0;
+};
+
+/// Degree-increase statistics of g over gp for alive nodes with G'-degree>0.
+DegreeStats degree_stats(const Graph& g, const Graph& gp);
+
+/// Span of the edges a healer *added*: for every edge of G absent from G',
+/// the G'-distance between its endpoints. This quantifies the paper's
+/// concluding open problem — "what if the only edges we can add are those
+/// that span a small distance in the original network?" — by measuring how
+/// far the Forgiving Graph actually reaches.
+struct EdgeSpanStats {
+  int64_t added_edges = 0;
+  int max_span = 0;
+  double avg_span = 0.0;
+  int64_t span_le_2 = 0;  ///< Added edges between G'-distance <= 2 endpoints.
+};
+
+EdgeSpanStats edge_span_stats(const Graph& g, const Graph& gp);
+
+}  // namespace fg

@@ -1,0 +1,31 @@
+// Structural introspection of a Forgiving Graph instance: how many RTs
+// exist, how big they are, and how evenly the representative mechanism
+// spreads helper duty across processors (the operational content of
+// Lemma 3: at most one helper per dead edge slot, each an ancestor of its
+// own leaf).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "fg/forgiving_graph.h"
+
+namespace fg {
+
+struct StructureStats {
+  int rt_count = 0;                 ///< Live reconstruction trees.
+  int64_t total_leaves = 0;         ///< Real nodes across all RTs.
+  int64_t total_helpers = 0;        ///< Helper nodes across all RTs.
+  int64_t largest_rt_leaves = 0;
+  int max_rt_depth = 0;
+  int max_helpers_per_processor = 0;
+  double avg_helpers_per_processor = 0.0;  ///< Over alive processors.
+  /// Histogram of helpers-per-processor: index i counts processors
+  /// simulating exactly i helpers (capped at the last bucket).
+  std::vector<int64_t> helper_histogram;
+};
+
+/// Walk the virtual forest of `fg` and summarize it.
+StructureStats structure_stats(const ForgivingGraph& fg, int histogram_buckets = 8);
+
+}  // namespace fg

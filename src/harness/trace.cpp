@@ -1,0 +1,83 @@
+#include "harness/trace.h"
+
+#include <algorithm>
+#include <istream>
+#include <ostream>
+#include <sstream>
+
+#include "util/check.h"
+
+namespace fg {
+
+void Trace::replay(Healer& healer) const {
+  for (const Action& a : actions_) {
+    if (a.kind == Action::Kind::kDelete) {
+      FG_CHECK_MSG(healer.healed().is_alive(a.target), "trace deletes a dead node");
+      healer.remove(a.target);
+    } else {
+      healer.insert(a.neighbors);
+    }
+  }
+}
+
+void Trace::save(std::ostream& os) const {
+  os << "# forgiving-graph trace, " << actions_.size() << " actions\n";
+  for (const Action& a : actions_) {
+    if (a.kind == Action::Kind::kDelete) {
+      os << "d " << a.target << '\n';
+    } else {
+      os << 'i';
+      for (NodeId y : a.neighbors) os << ' ' << y;
+      os << '\n';
+    }
+  }
+}
+
+Trace Trace::load(std::istream& is) {
+  Trace t;
+  std::string line;
+  while (std::getline(is, line)) {
+    if (line.empty() || line[0] == '#') continue;
+    std::istringstream ls(line);
+    char kind = 0;
+    ls >> kind;
+    if (kind == 'd') {
+      Action a;
+      a.kind = Action::Kind::kDelete;
+      FG_CHECK_MSG(static_cast<bool>(ls >> a.target), "malformed deletion line");
+      t.actions_.push_back(std::move(a));
+    } else if (kind == 'i') {
+      Action a;
+      a.kind = Action::Kind::kInsert;
+      NodeId y;
+      while (ls >> y) a.neighbors.push_back(y);
+      t.actions_.push_back(std::move(a));
+    } else {
+      FG_CHECK_MSG(false, "malformed trace line");
+    }
+  }
+  return t;
+}
+
+Trace Trace::prefix(size_t n) const {
+  Trace t;
+  t.actions_.assign(actions_.begin(),
+                    actions_.begin() + static_cast<long>(std::min(n, actions_.size())));
+  return t;
+}
+
+Trace record_run(Healer& healer, Adversary& adversary, int max_steps, Rng& rng) {
+  Trace t;
+  for (int step = 0; step < max_steps; ++step) {
+    auto action = adversary.next(healer, rng);
+    if (!action) break;
+    t.record(*action);
+    if (action->kind == Action::Kind::kDelete)
+      healer.remove(action->target);
+    else
+      healer.insert(action->neighbors);
+  }
+  return t;
+}
+
+}  // namespace fg

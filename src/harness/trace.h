@@ -1,0 +1,51 @@
+// Adversarial schedule traces: record, serialize, replay.
+//
+// A trace is the exact action sequence an adversary played. Traces make
+// failures reproducible across engines and sessions: the equivalence and
+// regression suites replay a recorded trace against both the centralized
+// and the distributed engine, and the text format lets failing schedules be
+// committed as fixtures.
+//
+// Format (one action per line):
+//   d <node>                 deletion
+//   i <nbr> <nbr> ...        insertion (id is implicit: next unused)
+//   # comment / blank lines ignored
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "adversary/adversary.h"
+
+namespace fg {
+
+/// A recorded adversarial schedule.
+class Trace {
+ public:
+  void record(const Action& a) { actions_.push_back(a); }
+
+  const std::vector<Action>& actions() const { return actions_; }
+  size_t size() const { return actions_.size(); }
+  bool empty() const { return actions_.empty(); }
+
+  /// Apply the whole trace to a healer (asserting that targets are alive).
+  void replay(Healer& healer) const;
+
+  /// Serialize to / parse from the text format above. Parsing aborts on
+  /// malformed lines (traces are trusted fixtures, not user input).
+  void save(std::ostream& os) const;
+  static Trace load(std::istream& is);
+
+  /// Keep only the first `n` actions (for bisection of failing schedules).
+  Trace prefix(size_t n) const;
+
+ private:
+  std::vector<Action> actions_;
+};
+
+/// Drive `adversary` against `healer` for up to `max_steps`, recording and
+/// applying each action; returns the trace.
+Trace record_run(Healer& healer, Adversary& adversary, int max_steps, Rng& rng);
+
+}  // namespace fg

@@ -1,0 +1,35 @@
+#include "heal/baselines.h"
+
+#include "util/check.h"
+
+namespace fg {
+
+void LineHealer::heal_after(NodeId, const std::vector<NodeId>& nbrs) {
+  if (nbrs.size() < 2) return;
+  for (size_t i = 0; i + 1 < nbrs.size(); ++i) g().add_edge(nbrs[i], nbrs[i + 1]);
+  if (nbrs.size() > 2) g().add_edge(nbrs.back(), nbrs.front());
+}
+
+void StarHealer::heal_after(NodeId, const std::vector<NodeId>& nbrs) {
+  if (nbrs.size() < 2) return;
+  for (size_t i = 1; i < nbrs.size(); ++i) g().add_edge(nbrs.front(), nbrs[i]);
+}
+
+void BinaryTreeHealer::heal_after(NodeId, const std::vector<NodeId>& nbrs) {
+  // Heap-indexed complete binary tree over the sorted neighbor list.
+  for (size_t i = 1; i < nbrs.size(); ++i) g().add_edge(nbrs[i], nbrs[(i - 1) / 2]);
+}
+
+KAryHealer::KAryHealer(const Graph& g0, int k) : BaselineHealer(g0), k_(k) {
+  FG_CHECK(k >= 2);
+}
+
+std::string KAryHealer::name() const { return "KAry(" + std::to_string(k_) + ")"; }
+
+void KAryHealer::heal_after(NodeId, const std::vector<NodeId>& nbrs) {
+  // Heap-indexed complete k-ary tree over the sorted neighbor list.
+  for (size_t i = 1; i < nbrs.size(); ++i)
+    g().add_edge(nbrs[i], nbrs[(i - 1) / static_cast<size_t>(k_)]);
+}
+
+}  // namespace fg

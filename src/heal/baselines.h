@@ -1,0 +1,72 @@
+// Baseline healing strategies the paper's results are contrasted against.
+//
+// * NoHealer — delete and do nothing; the network may disconnect. This is
+//   the "non-responsive" strawman of the introduction.
+// * LineHealer — connect the deleted node's neighbors in a cycle. Degree
+//   increase is at most +2 per incident deletion, but stretch can grow
+//   linearly (the star lower-bound construction of Theorem 2).
+// * StarHealer — connect every neighbor to the smallest-id neighbor, in the
+//   spirit of the surrogate strategy of "Picking up the pieces" [14]:
+//   excellent stretch, unbounded degree blowup.
+// * BinaryTreeHealer — replace the deleted node by a balanced binary tree of
+//   its current neighbors using *real* edges, structurally what the
+//   Forgiving Tree [7] does per deletion but with no RT merging and no
+//   virtual-node bookkeeping; repeated overlapping deletions accumulate
+//   degree (the ablation A1 shows why merging matters).
+// * KAryHealer(k) — balanced k-ary tree of the neighbors; sweeping k traces
+//   the degree/stretch tradeoff curve that Theorem 2 lower-bounds.
+#pragma once
+
+#include "heal/healer.h"
+
+namespace fg {
+
+class NoHealer final : public BaselineHealer {
+ public:
+  using BaselineHealer::BaselineHealer;
+  std::string name() const override { return "NoHealing"; }
+
+ protected:
+  void heal_after(NodeId, const std::vector<NodeId>&) override {}
+};
+
+class LineHealer final : public BaselineHealer {
+ public:
+  using BaselineHealer::BaselineHealer;
+  std::string name() const override { return "Line"; }
+
+ protected:
+  void heal_after(NodeId deleted, const std::vector<NodeId>& neighbors) override;
+};
+
+class StarHealer final : public BaselineHealer {
+ public:
+  using BaselineHealer::BaselineHealer;
+  std::string name() const override { return "Star"; }
+
+ protected:
+  void heal_after(NodeId deleted, const std::vector<NodeId>& neighbors) override;
+};
+
+class BinaryTreeHealer final : public BaselineHealer {
+ public:
+  using BaselineHealer::BaselineHealer;
+  std::string name() const override { return "BinaryTree"; }
+
+ protected:
+  void heal_after(NodeId deleted, const std::vector<NodeId>& neighbors) override;
+};
+
+class KAryHealer final : public BaselineHealer {
+ public:
+  KAryHealer(const Graph& g0, int k);
+  std::string name() const override;
+
+ protected:
+  void heal_after(NodeId deleted, const std::vector<NodeId>& neighbors) override;
+
+ private:
+  int k_;
+};
+
+}  // namespace fg

@@ -1,0 +1,55 @@
+#include "heal/forgiving_tree.h"
+
+#include <deque>
+
+#include "graph/algorithms.h"
+#include "util/check.h"
+
+namespace fg {
+
+Graph bfs_spanning_tree(const Graph& g) {
+  auto alive = g.alive_nodes();
+  FG_CHECK(!alive.empty());
+  FG_CHECK_MSG(is_connected(g), "spanning tree requires a connected graph");
+  Graph tree(g.node_capacity());
+  for (NodeId v = 0; v < g.node_capacity(); ++v)
+    if (!g.is_alive(v)) tree.remove_node(v);
+
+  std::vector<char> seen(static_cast<size_t>(g.node_capacity()), 0);
+  std::deque<NodeId> q{alive.front()};
+  seen[static_cast<size_t>(alive.front())] = 1;
+  while (!q.empty()) {
+    NodeId v = q.front();
+    q.pop_front();
+    for (NodeId w : g.neighbors(v)) {
+      if (seen[static_cast<size_t>(w)]) continue;
+      seen[static_cast<size_t>(w)] = 1;
+      tree.add_edge(v, w);
+      q.push_back(w);
+    }
+  }
+  return tree;
+}
+
+ForgivingTreeHealer::ForgivingTreeHealer(const Graph& g0)
+    : tree_engine_(bfs_spanning_tree(g0)), gprime_full_(g0) {}
+
+NodeId ForgivingTreeHealer::insert(std::span<const NodeId> neighbors) {
+  FG_CHECK_MSG(!neighbors.empty(), "the Forgiving Tree must graft onto some neighbor");
+  NodeId id = gprime_full_.add_node();
+  for (NodeId y : neighbors) {
+    // Liveness must be checked against the actual network; G' keeps deleted
+    // nodes around as path intermediaries.
+    FG_CHECK_MSG(tree_engine_.healed().is_alive(y), "insertion neighbor must be alive");
+    gprime_full_.add_edge(id, y);
+  }
+  // Tree graft: only the first neighbor becomes a tree edge.
+  std::vector<NodeId> graft{neighbors.front()};
+  NodeId tid = tree_engine_.insert(graft);
+  FG_CHECK(tid == id);
+  return id;
+}
+
+void ForgivingTreeHealer::remove(NodeId v) { tree_engine_.remove(v); }
+
+}  // namespace fg

@@ -1,0 +1,63 @@
+// The Forgiving Tree (Hayes, Rustagi, Saia, Trehan, PODC 2008) — the
+// predecessor data structure this paper improves on.
+//
+// The Forgiving Tree self-heals a *spanning tree* of the network: each
+// deleted node is replaced by a balanced binary tree of its tree-children
+// (helpers simulated by the children via "wills"), giving an additive +3
+// degree bound and an O(log Delta) *diameter* factor — but it is oblivious
+// to non-tree edges, cannot bound pairwise stretch, and does not handle
+// adversarial insertions (PODC'08 assumed a static node set; we graft
+// inserted nodes onto the tree by their first neighbor, the natural
+// extension).
+//
+// Implementation note (DESIGN.md substitution table): structurally, the
+// Forgiving Tree is the Forgiving Graph restricted to a spanning tree —
+// per-deletion balanced reconstruction with helper reuse. We implement it
+// exactly that way: an inner ForgivingGraph engine driven with the spanning
+// tree as its G'. This preserves every property the comparison needs
+// (tree-only healing => diameter-not-stretch guarantee, +3-ish degree) while
+// reusing the verified RT machinery. The *stretch* reported against the full
+// G' is the quantity the 2009 paper's first improvement targets.
+#pragma once
+
+#include "fg/forgiving_graph.h"
+#include "heal/healer.h"
+
+namespace fg {
+
+/// Forgiving-Tree baseline: heals only a spanning tree of the network.
+class ForgivingTreeHealer final : public Healer {
+ public:
+  /// Builds a BFS spanning tree of g0 rooted at the smallest id. g0 must be
+  /// connected.
+  explicit ForgivingTreeHealer(const Graph& g0);
+
+  /// Grafts the new node onto the tree at its first listed neighbor; the
+  /// remaining neighbors are recorded in G' but never used for healing
+  /// (the Forgiving Tree has no mechanism for them).
+  NodeId insert(std::span<const NodeId> neighbors) override;
+
+  void remove(NodeId v) override;
+
+  /// The healed spanning tree (the network the Forgiving Tree maintains).
+  const Graph& healed() const override { return tree_engine_.healed(); }
+
+  /// The full insertions-only graph G' (for metric parity with the other
+  /// healers; the Forgiving Tree itself only ever sees the tree edges).
+  const Graph& gprime() const override { return gprime_full_; }
+
+  std::string name() const override { return "ForgivingTree"; }
+
+  /// The spanning tree's own insertions-only reference (tree edges only).
+  const Graph& tree_gprime() const { return tree_engine_.gprime(); }
+
+ private:
+  ForgivingGraph tree_engine_;
+  Graph gprime_full_;
+};
+
+/// Extract a BFS spanning tree of `g` rooted at the smallest alive id.
+/// `g` must be connected.
+Graph bfs_spanning_tree(const Graph& g);
+
+}  // namespace fg

@@ -1,0 +1,39 @@
+// Lightweight runtime-checked invariant macros.
+//
+// FG_CHECK is always on (also in release builds): the self-healing structures
+// in this library maintain nontrivial invariants whose violation would yield
+// silently wrong experiment numbers, so we prefer a loud failure.
+// FG_DCHECK compiles out in NDEBUG builds and is used on hot paths.
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace fg::detail {
+
+[[noreturn]] inline void check_failed(const char* expr, const char* file, int line,
+                                      const char* msg) {
+  std::fprintf(stderr, "FG_CHECK failed: %s at %s:%d%s%s\n", expr, file, line,
+               msg[0] ? " — " : "", msg);
+  std::abort();
+}
+
+}  // namespace fg::detail
+
+#define FG_CHECK(expr)                                                 \
+  do {                                                                 \
+    if (!(expr)) ::fg::detail::check_failed(#expr, __FILE__, __LINE__, ""); \
+  } while (0)
+
+#define FG_CHECK_MSG(expr, msg)                                          \
+  do {                                                                   \
+    if (!(expr)) ::fg::detail::check_failed(#expr, __FILE__, __LINE__, msg); \
+  } while (0)
+
+#ifdef NDEBUG
+#define FG_DCHECK(expr) \
+  do {                  \
+  } while (0)
+#else
+#define FG_DCHECK(expr) FG_CHECK(expr)
+#endif

@@ -1,0 +1,72 @@
+#include "util/table.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <ostream>
+
+#include "util/check.h"
+
+namespace fg {
+
+Table::Table(std::vector<std::string> header) : header_(std::move(header)) {
+  FG_CHECK(!header_.empty());
+}
+
+Table::Table(std::initializer_list<std::string> header)
+    : Table(std::vector<std::string>(header)) {}
+
+void Table::add_row(std::vector<std::string> row) {
+  FG_CHECK_MSG(row.size() == header_.size(), "row arity mismatch");
+  rows_.push_back(std::move(row));
+}
+
+std::string Table::cell_to_string(double v) { return fmt(v); }
+
+void Table::print(std::ostream& os) const {
+  std::vector<size_t> width(header_.size());
+  for (size_t c = 0; c < header_.size(); ++c) width[c] = header_[c].size();
+  for (const auto& r : rows_)
+    for (size_t c = 0; c < r.size(); ++c) width[c] = std::max(width[c], r[c].size());
+
+  auto emit = [&](const std::vector<std::string>& cells) {
+    for (size_t c = 0; c < cells.size(); ++c) {
+      os << cells[c];
+      if (c + 1 < cells.size()) os << std::string(width[c] - cells[c].size() + 2, ' ');
+    }
+    os << '\n';
+  };
+
+  emit(header_);
+  size_t total = 0;
+  for (size_t c = 0; c < width.size(); ++c) total += width[c] + (c + 1 < width.size() ? 2 : 0);
+  os << std::string(total, '-') << '\n';
+  for (const auto& r : rows_) emit(r);
+
+  if (std::getenv("FG_CSV") != nullptr) {
+    os << "\n[csv]\n";
+    print_csv(os);
+  }
+}
+
+void Table::print_csv(std::ostream& os) const {
+  auto emit = [&](const std::vector<std::string>& cells) {
+    for (size_t c = 0; c < cells.size(); ++c) {
+      if (c) os << ',';
+      os << cells[c];
+    }
+    os << '\n';
+  };
+  emit(header_);
+  for (const auto& r : rows_) emit(r);
+}
+
+std::string fmt(double v, int decimals) {
+  if (std::isnan(v)) return "nan";
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*f", decimals, v);
+  return buf;
+}
+
+}  // namespace fg

@@ -1,0 +1,61 @@
+// Console table and CSV emission used by the benchmark/experiment harness.
+//
+// Every experiment binary prints an aligned, human-readable table to stdout
+// (the "paper table") and can also dump the same rows as CSV for plotting.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace fg {
+
+/// A simple column-aligned text table.
+///
+/// Usage:
+///   Table t{"n", "max degree ratio", "bound"};
+///   t.add_row("1024", "2.41", "3");
+///   t.print(std::cout);
+class Table {
+ public:
+  explicit Table(std::vector<std::string> header);
+  Table(std::initializer_list<std::string> header);
+
+  /// Append a row; must have the same arity as the header.
+  void add_row(std::vector<std::string> row);
+
+  /// Convenience: stringify heterogeneous cells.
+  template <typename... Cells>
+  void add(const Cells&... cells) {
+    add_row({cell_to_string(cells)...});
+  }
+
+  /// Print the aligned table. If the environment variable FG_CSV is set
+  /// (any value), a CSV copy of the same rows follows — so every experiment
+  /// binary doubles as a plot-data generator without a flag parser.
+  void print(std::ostream& os) const;
+  void print_csv(std::ostream& os) const;
+
+  size_t row_count() const { return rows_.size(); }
+  const std::vector<std::string>& row(size_t i) const { return rows_.at(i); }
+
+  static std::string cell_to_string(const std::string& s) { return s; }
+  static std::string cell_to_string(const char* s) { return s; }
+  static std::string cell_to_string(double v);
+  static std::string cell_to_string(int v) { return std::to_string(v); }
+  static std::string cell_to_string(long v) { return std::to_string(v); }
+  static std::string cell_to_string(long long v) { return std::to_string(v); }
+  static std::string cell_to_string(unsigned v) { return std::to_string(v); }
+  static std::string cell_to_string(unsigned long v) { return std::to_string(v); }
+  static std::string cell_to_string(unsigned long long v) { return std::to_string(v); }
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Format a double with fixed precision (default 2 decimal places).
+std::string fmt(double v, int decimals = 2);
+
+}  // namespace fg

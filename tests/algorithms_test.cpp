@@ -1,0 +1,82 @@
+#include "graph/algorithms.h"
+
+#include <gtest/gtest.h>
+
+#include "graph/generators.h"
+
+namespace fg {
+namespace {
+
+TEST(Algorithms, BfsDistancesOnPath) {
+  Graph g = make_path(5);
+  auto d = bfs_distances(g, 0);
+  for (int i = 0; i < 5; ++i) EXPECT_EQ(d[i], i);
+}
+
+TEST(Algorithms, BfsUnreachableIsMinusOne) {
+  Graph g(4);
+  g.add_edge(0, 1);
+  g.add_edge(2, 3);
+  auto d = bfs_distances(g, 0);
+  EXPECT_EQ(d[1], 1);
+  EXPECT_EQ(d[2], -1);
+  EXPECT_EQ(d[3], -1);
+}
+
+TEST(Algorithms, BfsIgnoresDeadNodes) {
+  Graph g = make_path(5);
+  g.remove_node(2);
+  auto d = bfs_distances(g, 0);
+  EXPECT_EQ(d[1], 1);
+  EXPECT_EQ(d[2], -1);
+  EXPECT_EQ(d[3], -1);  // cut by the dead node
+}
+
+TEST(Algorithms, ComponentsAndConnectivity) {
+  Graph g(6);
+  g.add_edge(0, 1);
+  g.add_edge(2, 3);
+  EXPECT_EQ(connected_components(g), 4);  // {0,1},{2,3},{4},{5}
+  EXPECT_FALSE(is_connected(g));
+  g.add_edge(1, 2);
+  g.add_edge(3, 4);
+  g.add_edge(4, 5);
+  EXPECT_TRUE(is_connected(g));
+}
+
+TEST(Algorithms, EmptyGraphConnected) {
+  Graph g;
+  EXPECT_EQ(connected_components(g), 0);
+  EXPECT_TRUE(is_connected(g));
+}
+
+TEST(Algorithms, Eccentricity) {
+  Graph g = make_path(7);
+  EXPECT_EQ(eccentricity(g, 0), 6);
+  EXPECT_EQ(eccentricity(g, 3), 3);
+}
+
+TEST(Algorithms, DiameterBoundsAgreeOnTrees) {
+  Rng rng(5);
+  for (int trial = 0; trial < 10; ++trial) {
+    Graph g = make_random_tree(60, rng);
+    EXPECT_EQ(diameter_lower_bound(g), exact_diameter(g));
+  }
+}
+
+TEST(Algorithms, DiameterLowerBoundNeverExceedsExact) {
+  Rng rng(6);
+  for (int trial = 0; trial < 5; ++trial) {
+    Graph g = make_erdos_renyi(60, 0.08, rng);
+    EXPECT_LE(diameter_lower_bound(g), exact_diameter(g));
+  }
+}
+
+TEST(Algorithms, ExactDiameterKnownGraphs) {
+  EXPECT_EQ(exact_diameter(make_star(10)), 2);
+  EXPECT_EQ(exact_diameter(make_complete(4)), 1);
+  EXPECT_EQ(exact_diameter(make_cycle(8)), 4);
+}
+
+}  // namespace
+}  // namespace fg

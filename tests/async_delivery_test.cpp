@@ -1,0 +1,83 @@
+// Asynchrony robustness: the paper's model only promises reliable eventual
+// delivery ("Nodes of Ht may communicate (asynchronously, in parallel)").
+// Under randomized delivery order and per-message delays the repair
+// protocol must produce the same structures — in global-plan mode even the
+// exact same topology as the synchronous run and the centralized engine,
+// because claimant races only move *who issues* a plan step, never the plan.
+#include <gtest/gtest.h>
+
+#include "fg/dist/dist_forgiving_graph.h"
+#include "fg/forgiving_graph.h"
+#include "graph/algorithms.h"
+#include "graph/generators.h"
+#include "haft/haft.h"
+#include "harness/metrics.h"
+#include "util/rng.h"
+
+namespace fg::dist {
+namespace {
+
+class AsyncSeeds : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(AsyncSeeds, GlobalModeMatchesCentralizedUnderAsynchrony) {
+  Rng rng(17);
+  Graph g0 = make_erdos_renyi(36, 0.16, rng);
+  ForgivingGraph central(g0);
+  DistForgivingGraph net(g0);
+  net.set_delivery_policy({GetParam(), /*max_extra_delay=*/3, /*shuffle=*/true});
+
+  for (int i = 0; i < 20; ++i) {
+    auto alive = central.healed().alive_nodes();
+    NodeId v = rng.pick(alive);
+    central.remove(v);
+    net.remove(v);
+    ASSERT_TRUE(central.healed().same_topology(net.image()))
+        << "diverged at step " << i << " seed " << GetParam();
+  }
+  net.validate();
+}
+
+TEST_P(AsyncSeeds, StageWiseBoundsHoldUnderAsynchrony) {
+  Rng rng(23);
+  Graph g0 = make_barabasi_albert(30, 2, rng);
+  DistForgivingGraph net(g0, MergeMode::kStageWise);
+  net.set_delivery_policy({GetParam() ^ 0xdead, 4, true});
+
+  for (int i = 0; i < 18; ++i) {
+    Graph img = net.image();
+    auto alive = img.alive_nodes();
+    if (alive.size() <= 2) break;
+    net.remove(rng.pick(alive));
+    net.validate();
+    ASSERT_TRUE(is_connected(net.image()));
+  }
+  auto d = degree_stats(net.image(), net.gprime());
+  EXPECT_LE(d.max_ratio, 4.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, AsyncSeeds, ::testing::Range(uint64_t{1}, uint64_t{9}));
+
+TEST(AsyncDelivery, DelaysOnlyStretchRounds) {
+  DistForgivingGraph sync_net(make_star(65));
+  DistForgivingGraph slow_net(make_star(65));
+  slow_net.set_delivery_policy({5, 4, false});
+  sync_net.remove(0);
+  slow_net.remove(0);
+  EXPECT_EQ(sync_net.last_repair_cost().messages, slow_net.last_repair_cost().messages);
+  EXPECT_GT(slow_net.last_repair_cost().rounds, sync_net.last_repair_cost().rounds);
+  EXPECT_TRUE(sync_net.image().same_topology(slow_net.image()));
+}
+
+TEST(AsyncDelivery, ShuffleAloneKeepsTopology) {
+  DistForgivingGraph a(make_star(33));
+  DistForgivingGraph b(make_star(33));
+  b.set_delivery_policy({99, 0, true});
+  for (NodeId v : {0, 5, 9}) {
+    a.remove(v);
+    b.remove(v);
+  }
+  EXPECT_TRUE(a.image().same_topology(b.image()));
+}
+
+}  // namespace
+}  // namespace fg::dist

@@ -1,0 +1,129 @@
+// Unit tests of the distributed Forgiving Graph protocol: topology results,
+// Table-1 state consistency, and the message/round cost bounds of Lemma 4.
+#include "fg/dist/dist_forgiving_graph.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "graph/algorithms.h"
+#include "graph/generators.h"
+#include "haft/haft.h"
+
+namespace fg::dist {
+namespace {
+
+TEST(DistForgivingGraph, InitImageMatchesG0) {
+  Graph g0 = make_cycle(6);
+  DistForgivingGraph d(g0);
+  EXPECT_TRUE(d.image().same_topology(g0));
+  d.validate();
+}
+
+TEST(DistForgivingGraph, DeleteMiddleOfPath) {
+  DistForgivingGraph d(make_path(3));
+  d.remove(1);
+  d.validate();
+  Graph g = d.image();
+  EXPECT_TRUE(g.has_edge(0, 2));
+  EXPECT_EQ(g.alive_count(), 2);
+  const RepairCost& c = d.last_repair_cost();
+  EXPECT_EQ(c.anchors, 2);
+  EXPECT_EQ(c.pieces, 2);
+  EXPECT_GT(c.messages, 0);
+}
+
+TEST(DistForgivingGraph, DeleteStarHub) {
+  DistForgivingGraph d(make_star(9));
+  d.remove(0);
+  d.validate();
+  Graph g = d.image();
+  EXPECT_TRUE(is_connected(g));
+  for (NodeId v = 1; v <= 8; ++v) EXPECT_LE(g.degree(v), 3);
+  EXPECT_EQ(d.last_repair_cost().anchors, 8);
+  EXPECT_EQ(d.last_repair_cost().pieces, 8);
+}
+
+TEST(DistForgivingGraph, DeleteLeafIsCheap) {
+  DistForgivingGraph d(make_star(9));
+  d.remove(5);  // degree-1 node: single anchor, no BT, no joins
+  d.validate();
+  const RepairCost& c = d.last_repair_cost();
+  EXPECT_EQ(c.anchors, 1);
+  EXPECT_EQ(c.bt_edges, 0);
+  EXPECT_EQ(c.messages, 0);  // everything local to the single anchor
+  EXPECT_TRUE(is_connected(d.image()));
+}
+
+TEST(DistForgivingGraph, InsertCostsOneMessagePerNeighbor) {
+  DistForgivingGraph d(make_path(4));
+  std::vector<NodeId> nbrs{0, 2, 3};
+  NodeId id = d.insert(nbrs);
+  EXPECT_EQ(id, 4);
+  d.validate();
+  EXPECT_TRUE(d.image().has_edge(4, 0));
+  EXPECT_TRUE(d.gprime().has_edge(4, 3));
+}
+
+TEST(DistForgivingGraph, SequentialAdjacentDeletions) {
+  DistForgivingGraph d(make_path(6));
+  d.remove(2);
+  d.validate();
+  d.remove(3);
+  d.validate();
+  Graph g = d.image();
+  EXPECT_TRUE(is_connected(g));
+  EXPECT_EQ(g.alive_count(), 4);
+}
+
+TEST(DistForgivingGraph, IsolatedNodeDeletionIsFree) {
+  Graph g0(3);
+  g0.add_edge(0, 1);
+  DistForgivingGraph d(g0);
+  d.remove(2);
+  EXPECT_EQ(d.last_repair_cost().messages, 0);
+  EXPECT_EQ(d.last_repair_cost().anchors, 0);
+}
+
+TEST(DistForgivingGraph, RepairCostScalesWithDLogN) {
+  // Lemma 4: messages O(d log n) — check the measured constant is small.
+  for (int d_deg : {8, 32, 128}) {
+    DistForgivingGraph d(make_star(d_deg + 1));
+    d.remove(0);
+    const RepairCost& c = d.last_repair_cost();
+    double n = d_deg + 1;
+    double bound = 40.0 * d_deg * std::max(1, haft::ceil_log2(static_cast<int64_t>(n)));
+    EXPECT_LT(static_cast<double>(c.messages), bound) << "d=" << d_deg;
+    EXPECT_GT(c.messages, d_deg);  // at least the piece reports move
+  }
+}
+
+TEST(DistForgivingGraph, RoundsScaleWithLogs) {
+  // Our plan-broadcast variant achieves O(log d + log n) rounds, within the
+  // paper's O(log d log n) budget.
+  for (int d_deg : {8, 64, 256}) {
+    DistForgivingGraph d(make_star(d_deg + 1));
+    d.remove(0);
+    int rounds = d.last_repair_cost().rounds;
+    int logd = std::max(1, haft::ceil_log2(d_deg));
+    EXPECT_LE(rounds, 8 * logd) << "d=" << d_deg;
+  }
+}
+
+TEST(DistForgivingGraph, LifetimeStatsAccumulate) {
+  DistForgivingGraph d(make_star(9));
+  d.remove(0);
+  int64_t after_first = d.lifetime_stats().messages;
+  EXPECT_GT(after_first, 0);
+  d.remove(1);
+  EXPECT_GT(d.lifetime_stats().messages, after_first);
+}
+
+TEST(DistForgivingGraphDeathTest, DoubleDeleteRejected) {
+  DistForgivingGraph d(make_path(3));
+  d.remove(0);
+  EXPECT_DEATH(d.remove(0), "dead");
+}
+
+}  // namespace
+}  // namespace fg::dist

@@ -1,0 +1,58 @@
+#include <gtest/gtest.h>
+
+#include "graph/generators.h"
+#include "harness/metrics.h"
+#include "heal/baselines.h"
+
+namespace fg {
+namespace {
+
+TEST(EdgeSpan, NoAddedEdgesMeansEmptyStats) {
+  Graph g = make_cycle(6);
+  auto s = edge_span_stats(g, g);
+  EXPECT_EQ(s.added_edges, 0);
+  EXPECT_EQ(s.max_span, 0);
+  EXPECT_DOUBLE_EQ(s.avg_span, 0.0);
+}
+
+TEST(EdgeSpan, SingleDeletionSpansTwo) {
+  // Healing the middle of a path adds one edge between nodes at G'-distance
+  // 2 (through the dead node).
+  ForgivingGraphHealer h(make_path(3));
+  h.remove(1);
+  auto s = edge_span_stats(h.healed(), h.gprime());
+  EXPECT_EQ(s.added_edges, 1);
+  EXPECT_EQ(s.max_span, 2);
+  EXPECT_EQ(s.span_le_2, 1);
+}
+
+TEST(EdgeSpan, StarHubDeletionAllSpanTwo) {
+  // Every RT edge connects two ex-leaves of the hub: G'-distance exactly 2.
+  ForgivingGraphHealer h(make_star(17));
+  h.remove(0);
+  auto s = edge_span_stats(h.healed(), h.gprime());
+  EXPECT_GT(s.added_edges, 0);
+  EXPECT_EQ(s.max_span, 2);
+  EXPECT_EQ(s.span_le_2, s.added_edges);
+  EXPECT_DOUBLE_EQ(s.avg_span, 2.0);
+}
+
+TEST(EdgeSpan, GrowsWhenDeadRegionsGrow) {
+  // Deleting a path segment forces edges spanning the whole dead region.
+  ForgivingGraphHealer h(make_path(10));
+  for (NodeId v = 3; v <= 6; ++v) h.remove(v);
+  auto s = edge_span_stats(h.healed(), h.gprime());
+  EXPECT_GE(s.max_span, 5);  // 2..7 are bridged through 4 dead nodes
+}
+
+TEST(EdgeSpan, CountsEachUndirectedEdgeOnce) {
+  ForgivingGraphHealer h(make_star(9));
+  h.remove(0);
+  auto s = edge_span_stats(h.healed(), h.gprime());
+  // Star(8 leaves) RT image: a perfect haft collapses to <= 2L-2 distinct
+  // processor edges; all are added edges, each counted once.
+  EXPECT_EQ(s.added_edges, h.healed().edge_count());
+}
+
+}  // namespace
+}  // namespace fg

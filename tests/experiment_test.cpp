@@ -1,0 +1,91 @@
+#include "harness/experiment.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "graph/generators.h"
+#include "haft/haft.h"
+#include "heal/baselines.h"
+
+namespace fg {
+namespace {
+
+TEST(Experiment, RandomDeleteRunOnForgivingGraph) {
+  Rng rng(11);
+  Graph g0 = make_erdos_renyi(60, 0.1, rng);
+  ForgivingGraphHealer h(g0);
+  RandomDeleteAdversary adv(10);
+  RunConfig cfg;
+  cfg.max_steps = 40;
+  cfg.sample_every = 10;
+  auto res = run_experiment(h, adv, cfg, rng);
+
+  EXPECT_EQ(res.deletions, 40);
+  EXPECT_EQ(res.insertions, 0);
+  EXPECT_EQ(res.timeline.size(), 4u);
+  EXPECT_EQ(res.final.alive, 20);
+  EXPECT_EQ(res.broken_pairs_total, 0);  // FG never disconnects
+  // Theorem bounds on the sampled metrics.
+  EXPECT_LE(res.worst_degree_ratio, 4.0);
+  EXPECT_LE(res.worst_stretch, std::max(1, haft::ceil_log2(60)));
+}
+
+TEST(Experiment, StopsWhenAdversaryStops) {
+  ForgivingGraphHealer h(make_star(8));
+  StarAttackAdversary adv;
+  RunConfig cfg;
+  cfg.max_steps = 100;
+  Rng rng(1);
+  auto res = run_experiment(h, adv, cfg, rng);
+  EXPECT_EQ(res.deletions, 1);
+  EXPECT_EQ(res.final.alive, 7);
+}
+
+TEST(Experiment, OnStepHookObservesActions) {
+  ForgivingGraphHealer h(make_cycle(10));
+  ChurnAdversary adv(0.5, 2);
+  RunConfig cfg;
+  cfg.max_steps = 20;
+  cfg.sample_every = 0;  // no intermediate samples
+  int hook_calls = 0;
+  cfg.on_step = [&](int, const Action&, Healer&) { ++hook_calls; };
+  Rng rng(5);
+  auto res = run_experiment(h, adv, cfg, rng);
+  EXPECT_EQ(hook_calls, 20);
+  EXPECT_TRUE(res.timeline.empty());
+  EXPECT_EQ(res.deletions + res.insertions, 20);
+}
+
+TEST(Experiment, NoHealerAccumulatesBrokenPairs) {
+  ForgivingGraphHealer unused(make_star(3));
+  (void)unused;
+  NoHealer h(make_star(30));
+  RunConfig cfg;
+  cfg.max_steps = 1;
+  Rng rng(2);
+  MaxDegreeDeleteAdversary adv;
+  auto res = run_experiment(h, adv, cfg, rng);
+  EXPECT_GT(res.broken_pairs_total, 0);
+  EXPECT_GT(res.final.components, 1);
+}
+
+TEST(Experiment, DeterministicForSeed) {
+  for (int round = 0; round < 2; ++round) {
+    static double first_stretch = -1;
+    Rng rng(77);
+    Graph g0 = make_erdos_renyi(50, 0.1, rng);
+    ForgivingGraphHealer h(g0);
+    ChurnAdversary adv(0.6, 3);
+    RunConfig cfg;
+    cfg.max_steps = 30;
+    auto res = run_experiment(h, adv, cfg, rng);
+    if (round == 0)
+      first_stretch = res.final.stretch.avg_stretch;
+    else
+      EXPECT_DOUBLE_EQ(first_stretch, res.final.stretch.avg_stretch);
+  }
+}
+
+}  // namespace
+}  // namespace fg

@@ -1,0 +1,92 @@
+#include "heal/forgiving_tree.h"
+
+#include <gtest/gtest.h>
+
+#include "graph/algorithms.h"
+#include "graph/generators.h"
+#include "harness/metrics.h"
+#include "util/rng.h"
+
+namespace fg {
+namespace {
+
+TEST(BfsSpanningTree, PathIsItsOwnTree) {
+  Graph p = make_path(6);
+  Graph t = bfs_spanning_tree(p);
+  EXPECT_TRUE(t.same_topology(p));
+}
+
+TEST(BfsSpanningTree, CoversAllNodesWithNMinusOneEdges) {
+  Rng rng(3);
+  for (int trial = 0; trial < 5; ++trial) {
+    Graph g = make_erdos_renyi(60, 0.1, rng);
+    Graph t = bfs_spanning_tree(g);
+    EXPECT_EQ(t.edge_count(), 59);
+    EXPECT_TRUE(is_connected(t));
+    // Every tree edge is a graph edge.
+    for (NodeId v : t.alive_nodes())
+      for (NodeId w : t.neighbors(v)) EXPECT_TRUE(g.has_edge(v, w));
+  }
+}
+
+TEST(ForgivingTree, HealsTreeDeletions) {
+  ForgivingTreeHealer ft(make_star(9));
+  ft.remove(0);
+  EXPECT_TRUE(is_connected(ft.healed()));
+  EXPECT_EQ(ft.healed().alive_count(), 8);
+  for (NodeId v = 1; v <= 8; ++v) EXPECT_LE(ft.healed().degree(v), 3);
+}
+
+TEST(ForgivingTree, SurvivesCascade) {
+  Rng rng(11);
+  Graph g0 = make_erdos_renyi(50, 0.12, rng);
+  ForgivingTreeHealer ft(g0);
+  for (int i = 0; i < 30; ++i) {
+    auto alive = ft.healed().alive_nodes();
+    ft.remove(rng.pick(alive));
+    ASSERT_TRUE(is_connected(ft.healed()));
+  }
+}
+
+TEST(ForgivingTree, InsertGraftsOntoFirstNeighbor) {
+  ForgivingTreeHealer ft(make_path(4));
+  std::vector<NodeId> nbrs{2, 0};
+  NodeId id = ft.insert(nbrs);
+  EXPECT_TRUE(ft.healed().has_edge(id, 2));   // tree edge
+  EXPECT_FALSE(ft.healed().has_edge(id, 0));  // non-tree edge: not healed...
+  EXPECT_TRUE(ft.gprime().has_edge(id, 0));   // ...but recorded in G'
+}
+
+TEST(ForgivingTree, StretchWorseThanForgivingGraphOnNonTreeGraphs) {
+  // The 2009 paper's first improvement: FT bounds only the *diameter* of
+  // the tree; measured against the full G', its stretch loses to FG.
+  Rng rng(21);
+  Graph g0 = make_erdos_renyi(60, 0.15, rng);
+  ForgivingTreeHealer ft(g0);
+  ForgivingGraphHealer fgh(g0);
+  for (int i = 0; i < 30; ++i) {
+    auto alive = fgh.healed().alive_nodes();
+    NodeId v = rng.pick(alive);
+    ft.remove(v);
+    fgh.remove(v);
+  }
+  Rng srng(1);
+  auto s_ft = sample_stretch(ft.healed(), ft.gprime(), 16, srng);
+  Rng srng2(1);
+  auto s_fg = sample_stretch(fgh.healed(), fgh.gprime(), 16, srng2);
+  EXPECT_GT(s_ft.max_stretch, s_fg.max_stretch);
+}
+
+TEST(ForgivingTree, FactoryName) {
+  Graph g0 = make_cycle(4);
+  EXPECT_EQ(make_healer("forgiving-tree", g0)->name(), "ForgivingTree");
+}
+
+TEST(ForgivingTreeDeathTest, InsertWithoutNeighborsRejected) {
+  ForgivingTreeHealer ft(make_path(3));
+  std::vector<NodeId> none;
+  EXPECT_DEATH(ft.insert(none), "graft");
+}
+
+}  // namespace
+}  // namespace fg

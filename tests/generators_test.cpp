@@ -1,0 +1,95 @@
+#include "graph/generators.h"
+
+#include <gtest/gtest.h>
+
+#include "graph/algorithms.h"
+
+namespace fg {
+namespace {
+
+TEST(Generators, Star) {
+  Graph g = make_star(6);
+  EXPECT_EQ(g.degree(0), 5);
+  for (NodeId v = 1; v < 6; ++v) EXPECT_EQ(g.degree(v), 1);
+  EXPECT_TRUE(is_connected(g));
+}
+
+TEST(Generators, PathAndCycle) {
+  Graph p = make_path(5);
+  EXPECT_EQ(p.edge_count(), 4);
+  EXPECT_EQ(exact_diameter(p), 4);
+  Graph c = make_cycle(6);
+  EXPECT_EQ(c.edge_count(), 6);
+  EXPECT_EQ(exact_diameter(c), 3);
+}
+
+TEST(Generators, Grid) {
+  Graph g = make_grid(3, 4);
+  EXPECT_EQ(g.alive_count(), 12);
+  EXPECT_EQ(g.edge_count(), 3 * 3 + 2 * 4);  // horizontal + vertical
+  EXPECT_TRUE(is_connected(g));
+  EXPECT_EQ(exact_diameter(g), 2 + 3);
+}
+
+TEST(Generators, Complete) {
+  Graph g = make_complete(5);
+  EXPECT_EQ(g.edge_count(), 10);
+  EXPECT_EQ(exact_diameter(g), 1);
+}
+
+TEST(Generators, BinaryTree) {
+  Graph g = make_binary_tree(7);
+  EXPECT_EQ(g.edge_count(), 6);
+  EXPECT_TRUE(is_connected(g));
+  EXPECT_EQ(g.degree(0), 2);
+  EXPECT_EQ(g.degree(1), 3);
+}
+
+TEST(Generators, RandomTreeIsTree) {
+  Rng rng(1);
+  for (int n : {1, 2, 10, 100}) {
+    Graph g = make_random_tree(n, rng);
+    EXPECT_EQ(g.edge_count(), n - 1);
+    EXPECT_TRUE(is_connected(g));
+  }
+}
+
+TEST(Generators, ErdosRenyiConnectedAndSized) {
+  Rng rng(2);
+  Graph g = make_erdos_renyi(200, 4.0 / 200, rng);
+  EXPECT_EQ(g.alive_count(), 200);
+  EXPECT_TRUE(is_connected(g));
+  // Expected ~ n*p*(n-1)/2 = 398 edges plus connectivity patches.
+  EXPECT_GT(g.edge_count(), 200);
+  EXPECT_LT(g.edge_count(), 800);
+}
+
+TEST(Generators, ErdosRenyiZeroProbabilityStillConnected) {
+  Rng rng(3);
+  Graph g = make_erdos_renyi(50, 0.0, rng);
+  EXPECT_TRUE(is_connected(g));  // patched into one component
+  EXPECT_EQ(g.edge_count(), 49);
+}
+
+TEST(Generators, BarabasiAlbert) {
+  Rng rng(4);
+  Graph g = make_barabasi_albert(300, 3, rng);
+  EXPECT_EQ(g.alive_count(), 300);
+  EXPECT_TRUE(is_connected(g));
+  // Seed clique 6 edges + 296 * 3.
+  EXPECT_EQ(g.edge_count(), 6 + 296 * 3);
+  // Preferential attachment should produce at least one big hub.
+  int maxdeg = 0;
+  for (NodeId v : g.alive_nodes()) maxdeg = std::max(maxdeg, g.degree(v));
+  EXPECT_GT(maxdeg, 15);
+}
+
+TEST(Generators, DeterministicForSeed) {
+  Rng r1(9), r2(9);
+  Graph a = make_erdos_renyi(80, 0.05, r1);
+  Graph b = make_erdos_renyi(80, 0.05, r2);
+  EXPECT_TRUE(a.same_topology(b));
+}
+
+}  // namespace
+}  // namespace fg

@@ -1,0 +1,123 @@
+#include "graph/graph.h"
+
+#include <gtest/gtest.h>
+
+namespace fg {
+namespace {
+
+TEST(Graph, EmptyConstruction) {
+  Graph g;
+  EXPECT_EQ(g.node_capacity(), 0);
+  EXPECT_EQ(g.alive_count(), 0);
+  EXPECT_EQ(g.edge_count(), 0);
+}
+
+TEST(Graph, InitialNodes) {
+  Graph g(5);
+  EXPECT_EQ(g.node_capacity(), 5);
+  EXPECT_EQ(g.alive_count(), 5);
+  for (NodeId v = 0; v < 5; ++v) EXPECT_TRUE(g.is_alive(v));
+}
+
+TEST(Graph, AddNodeAssignsConsecutiveIds) {
+  Graph g(2);
+  EXPECT_EQ(g.add_node(), 2);
+  EXPECT_EQ(g.add_node(), 3);
+  EXPECT_EQ(g.alive_count(), 4);
+}
+
+TEST(Graph, AddEdgeBasics) {
+  Graph g(3);
+  EXPECT_TRUE(g.add_edge(0, 1));
+  EXPECT_FALSE(g.add_edge(1, 0));  // duplicate
+  EXPECT_TRUE(g.has_edge(0, 1));
+  EXPECT_TRUE(g.has_edge(1, 0));
+  EXPECT_FALSE(g.has_edge(0, 2));
+  EXPECT_EQ(g.edge_count(), 1);
+  EXPECT_EQ(g.degree(0), 1);
+  EXPECT_EQ(g.degree(2), 0);
+}
+
+TEST(Graph, RemoveEdge) {
+  Graph g(2);
+  g.add_edge(0, 1);
+  EXPECT_TRUE(g.remove_edge(0, 1));
+  EXPECT_FALSE(g.remove_edge(0, 1));
+  EXPECT_EQ(g.edge_count(), 0);
+  EXPECT_FALSE(g.has_edge(0, 1));
+}
+
+TEST(Graph, RemoveNodeClearsIncidence) {
+  Graph g(4);
+  g.add_edge(0, 1);
+  g.add_edge(0, 2);
+  g.add_edge(1, 2);
+  g.remove_node(0);
+  EXPECT_FALSE(g.is_alive(0));
+  EXPECT_EQ(g.alive_count(), 3);
+  EXPECT_EQ(g.edge_count(), 1);
+  EXPECT_EQ(g.degree(1), 1);
+  EXPECT_TRUE(g.has_edge(1, 2));
+}
+
+TEST(Graph, IdsNeverReused) {
+  Graph g(2);
+  g.remove_node(1);
+  EXPECT_EQ(g.add_node(), 2);
+  EXPECT_FALSE(g.is_alive(1));
+}
+
+TEST(Graph, AliveNodesSorted) {
+  Graph g(5);
+  g.remove_node(2);
+  auto alive = g.alive_nodes();
+  EXPECT_EQ(alive, (std::vector<NodeId>{0, 1, 3, 4}));
+}
+
+TEST(Graph, EnsureNode) {
+  Graph g;
+  g.ensure_node(3);
+  EXPECT_EQ(g.node_capacity(), 4);
+  EXPECT_TRUE(g.is_alive(3));
+}
+
+TEST(Graph, SameTopology) {
+  Graph a(3), b(3);
+  a.add_edge(0, 1);
+  b.add_edge(0, 1);
+  EXPECT_TRUE(a.same_topology(b));
+  b.add_edge(1, 2);
+  EXPECT_FALSE(a.same_topology(b));
+  a.add_edge(1, 2);
+  EXPECT_TRUE(a.same_topology(b));
+  a.remove_node(2);
+  b.remove_node(2);
+  EXPECT_TRUE(a.same_topology(b));
+}
+
+TEST(Graph, SameTopologyDifferentCapacitySameAlive) {
+  Graph a(3);
+  Graph b(4);
+  b.remove_node(3);
+  EXPECT_TRUE(a.same_topology(b));
+}
+
+TEST(GraphDeathTest, SelfLoopRejected) {
+  Graph g(2);
+  EXPECT_DEATH(g.add_edge(1, 1), "self loop");
+}
+
+TEST(GraphDeathTest, EdgeToDeadNodeRejected) {
+  Graph g(3);
+  g.remove_node(1);
+  EXPECT_DEATH(g.add_edge(0, 1), "dead");
+}
+
+TEST(GraphDeathTest, DoubleRemoveNodeRejected) {
+  Graph g(2);
+  g.remove_node(1);
+  EXPECT_DEATH(g.remove_node(1), "dead");
+}
+
+}  // namespace
+}  // namespace fg

@@ -1,0 +1,140 @@
+// Property-style sweeps over haft invariants (Lemma 1 and the Strip/Merge
+// operations of Section 4.1), parameterized over leaf counts and random
+// merge schedules.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <bit>
+#include <numeric>
+
+#include "haft/haft.h"
+#include "util/rng.h"
+
+namespace fg::haft {
+namespace {
+
+class HaftLeafCount : public ::testing::TestWithParam<int64_t> {};
+
+TEST_P(HaftLeafCount, DepthIsCeilLog2) {
+  HaftForest f;
+  int root = f.build(GetParam());
+  EXPECT_EQ(f.depth(root), ceil_log2(GetParam()));
+}
+
+TEST_P(HaftLeafCount, IsValidHaft) {
+  HaftForest f;
+  int root = f.build(GetParam());
+  EXPECT_TRUE(f.is_haft(root));
+}
+
+TEST_P(HaftLeafCount, InternalNodeCountIsLeavesMinusOne) {
+  // A haft over l leaves has exactly l-1 internal nodes: this is what lets
+  // the representative mechanism find a distinct simulator for every helper.
+  HaftForest f;
+  int64_t l = GetParam();
+  int root = f.build(l);
+  int64_t internal = 0;
+  std::vector<int> stack{root};
+  while (!stack.empty()) {
+    int h = stack.back();
+    stack.pop_back();
+    const auto& n = f.node(h);
+    if (!n.is_leaf) {
+      ++internal;
+      stack.push_back(n.left);
+      stack.push_back(n.right);
+    }
+  }
+  EXPECT_EQ(internal, l - 1);
+}
+
+TEST_P(HaftLeafCount, StripPieceSizesAreBinaryDigits) {
+  HaftForest f;
+  int64_t l = GetParam();
+  int root = f.build(l);
+  auto pieces = f.strip(root);
+  uint64_t reassembled = 0;
+  for (int p : pieces) reassembled |= static_cast<uint64_t>(f.node(p).leaf_count);
+  EXPECT_EQ(reassembled, static_cast<uint64_t>(l));
+}
+
+TEST_P(HaftLeafCount, UniquenessViaLeafOrderInvariance) {
+  // Lemma 1.1: haft(l) is unique. Building by singleton merge and building
+  // by a two-part split merge must give structurally equal trees.
+  int64_t l = GetParam();
+  if (l < 2) return;
+  HaftForest f1, f2;
+  int r1 = f1.build(l);
+  int a = f2.build(l / 2, 0);
+  int b = f2.build(l - l / 2, static_cast<uint64_t>(l / 2));
+  int r2 = f2.merge({a, b});
+
+  // Structural equality via parallel preorder traversal of shapes.
+  std::vector<std::pair<int, int>> stack{{r1, r2}};
+  while (!stack.empty()) {
+    auto [x, y] = stack.back();
+    stack.pop_back();
+    ASSERT_EQ(f1.node(x).is_leaf, f2.node(y).is_leaf);
+    ASSERT_EQ(f1.node(x).leaf_count, f2.node(y).leaf_count);
+    ASSERT_EQ(f1.node(x).height, f2.node(y).height);
+    if (!f1.node(x).is_leaf) {
+      stack.push_back({f1.node(x).left, f2.node(y).left});
+      stack.push_back({f1.node(x).right, f2.node(y).right});
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllSmallSizes, HaftLeafCount,
+                         ::testing::Range(int64_t{1}, int64_t{130}));
+INSTANTIATE_TEST_SUITE_P(PowersAndNeighbors, HaftLeafCount,
+                         ::testing::Values(255, 256, 257, 511, 512, 513, 1023, 1024,
+                                           1025, 4095, 4096, 4097));
+
+class RandomMergeSchedule : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(RandomMergeSchedule, RepeatedRandomMergesPreserveHaftness) {
+  Rng rng(GetParam());
+  HaftForest f;
+  std::vector<int> roots;
+  uint64_t next_label = 0;
+  // Start with random singleton hafts and hafts of random size.
+  for (int i = 0; i < 20; ++i) {
+    int64_t l = rng.next_int(1, 40);
+    roots.push_back(f.build(l, next_label));
+    next_label += static_cast<uint64_t>(l);
+  }
+  // Randomly merge groups until one haft remains.
+  while (roots.size() > 1) {
+    size_t take = static_cast<size_t>(rng.next_int(2, 4));
+    take = std::min(take, roots.size());
+    rng.shuffle(roots);
+    std::vector<int> group(roots.end() - static_cast<long>(take), roots.end());
+    roots.resize(roots.size() - take);
+    int merged = f.merge(group);
+    ASSERT_TRUE(f.is_haft(merged));
+    roots.push_back(merged);
+  }
+  // All leaves survive every merge.
+  auto labels = f.leaf_labels(roots[0]);
+  std::sort(labels.begin(), labels.end());
+  std::vector<uint64_t> want(labels.size());
+  std::iota(want.begin(), want.end(), 0u);
+  EXPECT_EQ(labels, want);
+}
+
+TEST_P(RandomMergeSchedule, StripThenMergeIsIdempotentOnLeafSet) {
+  Rng rng(GetParam() ^ 0xabcdef);
+  HaftForest f;
+  int64_t l = rng.next_int(2, 200);
+  int root = f.build(l);
+  auto pieces = f.strip(root);
+  int merged = f.merge(pieces);
+  EXPECT_TRUE(f.is_haft(merged));
+  EXPECT_EQ(f.node(merged).leaf_count, l);
+  EXPECT_EQ(f.depth(merged), ceil_log2(l));
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RandomMergeSchedule, ::testing::Range(uint64_t{0}, uint64_t{12}));
+
+}  // namespace
+}  // namespace fg::haft

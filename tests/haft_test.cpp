@@ -1,0 +1,206 @@
+#include "haft/haft.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <numeric>
+
+namespace fg::haft {
+namespace {
+
+TEST(CeilLog2, KnownValues) {
+  EXPECT_EQ(ceil_log2(1), 0);
+  EXPECT_EQ(ceil_log2(2), 1);
+  EXPECT_EQ(ceil_log2(3), 2);
+  EXPECT_EQ(ceil_log2(4), 2);
+  EXPECT_EQ(ceil_log2(5), 3);
+  EXPECT_EQ(ceil_log2(8), 3);
+  EXPECT_EQ(ceil_log2(9), 4);
+  EXPECT_EQ(ceil_log2(1 << 20), 20);
+  EXPECT_EQ(ceil_log2((1 << 20) + 1), 21);
+}
+
+TEST(IsPow2, Basics) {
+  EXPECT_TRUE(is_pow2(1));
+  EXPECT_TRUE(is_pow2(2));
+  EXPECT_TRUE(is_pow2(64));
+  EXPECT_FALSE(is_pow2(0));
+  EXPECT_FALSE(is_pow2(3));
+  EXPECT_FALSE(is_pow2(-4));
+}
+
+TEST(MergePlan, EmptyAndSingleton) {
+  EXPECT_TRUE(merge_plan({}).empty());
+  EXPECT_TRUE(merge_plan({{4, 0}}).empty());
+}
+
+TEST(MergePlan, TwoEqualPieces) {
+  auto plan = merge_plan({{1, 10}, {1, 5}});
+  ASSERT_EQ(plan.size(), 1u);
+  // Sorted by key: piece 1 (key 5) first, so it is the left child.
+  EXPECT_EQ(plan[0].left, 1);
+  EXPECT_EQ(plan[0].right, 0);
+  EXPECT_EQ(plan[0].result, 2);
+}
+
+TEST(MergePlan, BinaryAdditionCarries) {
+  // 1+1+1+1 = 100 in binary: three joins, sizes 1+1->2, 1+1->2, 2+2->4.
+  auto plan = merge_plan({{1, 0}, {1, 1}, {1, 2}, {1, 3}});
+  ASSERT_EQ(plan.size(), 3u);
+  EXPECT_EQ(plan[2].result, 6);
+}
+
+TEST(MergePlan, DistinctSizesChainAscending) {
+  // Sizes 1, 2, 4: chain phase only. First join: bigger (2) is left.
+  auto plan = merge_plan({{4, 0}, {1, 1}, {2, 2}});
+  ASSERT_EQ(plan.size(), 2u);
+  EXPECT_EQ(plan[0].left, 2);   // size-2 piece
+  EXPECT_EQ(plan[0].right, 1);  // size-1 piece
+  EXPECT_EQ(plan[1].left, 0);   // size-4 piece becomes left child of root
+  EXPECT_EQ(plan[1].right, 3);  // accumulated 3-leaf haft
+}
+
+TEST(MergePlan, JoinCountIsPiecesMinusOne) {
+  for (int k = 1; k <= 40; ++k) {
+    std::vector<PieceInfo> pieces;
+    for (int i = 0; i < k; ++i)
+      pieces.push_back({int64_t{1} << (i % 5), static_cast<uint64_t>(i)});
+    EXPECT_EQ(merge_plan(pieces).size(), static_cast<size_t>(k - 1));
+  }
+}
+
+TEST(MergePlanDeathTest, NonPowerOfTwoRejected) {
+  EXPECT_DEATH(merge_plan({{3, 0}}), "perfect");
+}
+
+TEST(HaftForest, SingleLeafIsHaft) {
+  HaftForest f;
+  int leaf = f.make_leaf(7);
+  EXPECT_TRUE(f.is_haft(leaf));
+  EXPECT_TRUE(f.is_perfect(leaf));
+  EXPECT_TRUE(f.is_primary_root(leaf));
+  EXPECT_EQ(f.depth(leaf), 0);
+  EXPECT_EQ(f.leaf_labels(leaf), std::vector<uint64_t>{7});
+}
+
+TEST(HaftForest, BuildProducesHaftWithLemma1Depth) {
+  for (int64_t l = 1; l <= 64; ++l) {
+    HaftForest f;
+    int root = f.build(l);
+    EXPECT_TRUE(f.is_haft(root)) << "l=" << l;
+    EXPECT_EQ(f.node(root).leaf_count, l);
+    EXPECT_EQ(f.depth(root), ceil_log2(l)) << "l=" << l;
+  }
+}
+
+TEST(HaftForest, BuildKeepsAllLeaves) {
+  HaftForest f;
+  int root = f.build(13, 100);
+  auto labels = f.leaf_labels(root);
+  std::sort(labels.begin(), labels.end());
+  std::vector<uint64_t> want(13);
+  std::iota(want.begin(), want.end(), 100u);
+  EXPECT_EQ(labels, want);
+}
+
+TEST(HaftForest, StripMatchesBinaryRepresentation) {
+  // Lemma 1.2: haft(l) decomposes into one complete tree per one-bit of l.
+  for (int64_t l = 1; l <= 64; ++l) {
+    HaftForest f;
+    int root = f.build(l);
+    auto pieces = f.strip(root);
+    EXPECT_EQ(pieces.size(), static_cast<size_t>(std::popcount(static_cast<uint64_t>(l))))
+        << "l=" << l;
+    int64_t total = 0;
+    int64_t prev = int64_t{1} << 62;
+    for (int p : pieces) {
+      EXPECT_TRUE(f.is_perfect(p));
+      EXPECT_EQ(f.node(p).parent, -1);
+      EXPECT_LT(f.node(p).leaf_count, prev);  // descending distinct sizes
+      prev = f.node(p).leaf_count;
+      total += f.node(p).leaf_count;
+    }
+    EXPECT_EQ(total, l);
+  }
+}
+
+TEST(HaftForest, StripRemovesExactlyHMinusOneNodes) {
+  for (int64_t l : {3, 5, 6, 7, 11, 21, 63}) {
+    HaftForest f;
+    int root = f.build(l);
+    int before = f.live_node_count();
+    auto pieces = f.strip(root);
+    int h = static_cast<int>(pieces.size());
+    EXPECT_EQ(f.live_node_count(), before - (h - 1)) << "l=" << l;
+  }
+}
+
+TEST(HaftForest, StripOnCompleteTreeIsIdentity) {
+  HaftForest f;
+  int root = f.build(8);
+  int before = f.live_node_count();
+  auto pieces = f.strip(root);
+  ASSERT_EQ(pieces.size(), 1u);
+  EXPECT_EQ(pieces[0], root);
+  EXPECT_EQ(f.live_node_count(), before);
+}
+
+TEST(HaftForest, MergeTwoHafts) {
+  HaftForest f;
+  int a = f.build(5, 0);
+  int b = f.build(3, 100);
+  int m = f.merge({a, b});
+  EXPECT_TRUE(f.is_haft(m));
+  EXPECT_EQ(f.node(m).leaf_count, 8);
+  EXPECT_EQ(f.depth(m), 3);
+}
+
+TEST(HaftForest, MergeManyMatchesFigure5) {
+  // Figure 5: 0101 + 0010 + 0001 = 1000 (5 + 2 + 1 = 8 leaves).
+  HaftForest f;
+  int a = f.build(5, 0);
+  int b = f.build(2, 10);
+  int c = f.build(1, 20);
+  int m = f.merge({a, b, c});
+  EXPECT_TRUE(f.is_haft(m));
+  EXPECT_EQ(f.node(m).leaf_count, 8);
+  EXPECT_TRUE(f.is_perfect(m));
+}
+
+TEST(HaftForest, JoinRejectsNonRoots) {
+  HaftForest f;
+  int root = f.build(4);
+  int child = f.node(root).left;
+  int lone = f.make_leaf(99);
+  EXPECT_DEATH(f.join(child, lone), "roots");
+}
+
+TEST(HaftForest, PrimaryRootsIdentifiedByStoredFields) {
+  HaftForest f;
+  int root = f.build(6);  // 110: primary roots of sizes 4 and 2
+  int primaries = 0;
+  // Walk the whole subtree, counting primary roots.
+  std::vector<int> stack{root};
+  while (!stack.empty()) {
+    int h = stack.back();
+    stack.pop_back();
+    if (f.is_primary_root(h)) ++primaries;
+    const auto& n = f.node(h);
+    if (n.left != -1) stack.push_back(n.left);
+    if (n.right != -1) stack.push_back(n.right);
+  }
+  EXPECT_EQ(primaries, 2);
+}
+
+TEST(HaftForest, RootOf) {
+  HaftForest f;
+  int root = f.build(9);
+  for (int h = 0; h < 9; ++h) {
+    if (f.exists(h) && f.node(h).is_leaf) {
+      EXPECT_EQ(f.root_of(h), root);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace fg::haft

@@ -1,0 +1,148 @@
+// Sharp structural invariants of the Forgiving Graph construction that the
+// theorems rest on, asserted exactly (not just within the theorem bounds):
+//
+//  * per-slot accounting: deg(v, G) <= deg(v, G') + 3 * helpers(v)
+//    (the additive form of Theorem 1.1 that the construction actually
+//    guarantees — EXPERIMENTS.md T1/A2 discuss the multiplicative constant);
+//  * an RT over L leaves has exactly L-1 helpers;
+//  * RT diameter: distance between two ex-neighbors through their RT is at
+//    most 2*ceil(log2 L);
+//  * DOT export is well-formed and covers the whole RT.
+#include <gtest/gtest.h>
+
+#include "fg/forgiving_graph.h"
+#include "graph/algorithms.h"
+#include "graph/generators.h"
+#include "haft/haft.h"
+#include "util/rng.h"
+
+namespace fg {
+namespace {
+
+void assert_per_slot_accounting(const ForgivingGraph& fg) {
+  for (NodeId v : fg.healed().alive_nodes()) {
+    int bound = fg.gprime().degree(v) + 3 * fg.helper_count(v);
+    ASSERT_LE(fg.healed().degree(v), bound) << "node " << v;
+  }
+}
+
+TEST(Invariants, PerSlotDegreeAccountingRandomChurn) {
+  Rng rng(31);
+  Graph g0 = make_erdos_renyi(50, 0.12, rng);
+  ForgivingGraph fg(g0);
+  for (int i = 0; i < 35; ++i) {
+    auto alive = fg.healed().alive_nodes();
+    if (alive.size() <= 2) break;
+    fg.remove(rng.pick(alive));
+    assert_per_slot_accounting(fg);
+  }
+}
+
+TEST(Invariants, PerSlotDegreeAccountingStarCascade) {
+  ForgivingGraph fg(make_star(65));
+  fg.remove(0);
+  assert_per_slot_accounting(fg);
+  for (NodeId v = 1; v <= 40; ++v) {
+    fg.remove(v);
+    assert_per_slot_accounting(fg);
+  }
+}
+
+TEST(Invariants, RTHasLeavesMinusOneHelpers) {
+  for (int d : {2, 3, 7, 16, 33}) {
+    ForgivingGraph fg(make_star(d + 1));
+    fg.remove(0);
+    EXPECT_EQ(fg.last_repair().helpers_created, d - 1) << "d=" << d;
+    EXPECT_EQ(fg.forest().live_count(), 2 * d - 1) << "d=" << d;  // leaves + helpers
+  }
+}
+
+TEST(Invariants, RTDiameterWithinTwiceDepth) {
+  for (int d : {4, 9, 17, 40, 100}) {
+    ForgivingGraph fg(make_star(d + 1));
+    fg.remove(0);
+    EXPECT_LE(exact_diameter(fg.healed()), 2 * haft::ceil_log2(d)) << "d=" << d;
+  }
+}
+
+TEST(Invariants, HelperCountMatchesDeadSlotStructure) {
+  // After merging RTs, total helpers across all processors must equal
+  // total leaves - number of RTs.
+  Rng rng(77);
+  Graph g0 = make_erdos_renyi(40, 0.15, rng);
+  ForgivingGraph fg(g0);
+  for (int i = 0; i < 20; ++i) {
+    auto alive = fg.healed().alive_nodes();
+    fg.remove(rng.pick(alive));
+  }
+  fg.validate();
+  int64_t helpers = 0;
+  int64_t leaves = 0;
+  for (NodeId v : fg.healed().alive_nodes()) {
+    helpers += fg.helper_count(v);
+    for (NodeId w : fg.gprime().neighbors(v))
+      if (!fg.healed().is_alive(w)) ++leaves;
+  }
+  EXPECT_EQ(fg.forest().live_count(), helpers + leaves);
+  EXPECT_LE(helpers, leaves);  // L-1 helpers per RT over L leaves
+}
+
+TEST(Invariants, DotExportCoversRT) {
+  ForgivingGraph fg(make_star(9));
+  fg.remove(0);
+  // Find an RT root via any leaf slot.
+  const VirtualForest& f = fg.forest();
+  VNodeId any = kNoVNode;
+  for (VNodeId h = 0; h < 64; ++h)
+    if (f.exists(h)) {
+      any = h;
+      break;
+    }
+  ASSERT_NE(any, kNoVNode);
+  VNodeId root = f.root_of(any);
+  std::string dot = f.to_dot(root);
+  EXPECT_NE(dot.find("digraph RT"), std::string::npos);
+  // 8 leaves + 7 helpers = 15 node declarations, 14 edges.
+  size_t node_decls = 0, edges = 0;
+  for (size_t pos = 0; (pos = dot.find("shape=", pos)) != std::string::npos; ++pos)
+    ++node_decls;
+  for (size_t pos = 0; (pos = dot.find(" -> ", pos)) != std::string::npos; ++pos) ++edges;
+  EXPECT_EQ(node_decls, 15u);
+  EXPECT_EQ(edges, 14u);
+}
+
+TEST(Invariants, ForestEmptiesWhenEveryoneDies) {
+  // Deleting the whole network must free every virtual node: the last
+  // deletions remove leaves whose other endpoints are already dead, and the
+  // RTs evaporate with them.
+  ForgivingGraph fg(make_cycle(8));
+  for (NodeId v = 0; v < 8; ++v) fg.remove(v);
+  EXPECT_EQ(fg.forest().live_count(), 0);
+  EXPECT_EQ(fg.healed().alive_count(), 0);
+}
+
+TEST(Invariants, DeadLeafSingletonRTRemoval) {
+  // Path 0-1: deleting 0 leaves a one-leaf RT at 1; deleting 1 removes a
+  // dead singleton leaf with no anchors — the empty-repair path.
+  ForgivingGraph fg(make_path(2));
+  fg.remove(0);
+  EXPECT_EQ(fg.forest().live_count(), 1);
+  fg.remove(1);
+  EXPECT_EQ(fg.forest().live_count(), 0);
+  EXPECT_EQ(fg.last_repair().pieces, 0);
+}
+
+TEST(Invariants, GPrimeDistancesNeverIncrease) {
+  // G' is insertion-monotone: adding nodes can only add paths.
+  Rng rng(5);
+  Graph g0 = make_cycle(12);
+  ForgivingGraph fg(g0);
+  auto before = bfs_distances(fg.gprime(), 0);
+  std::vector<NodeId> nbrs{3, 9};
+  fg.insert(nbrs);
+  auto after = bfs_distances(fg.gprime(), 0);
+  for (NodeId v = 0; v < 12; ++v) EXPECT_LE(after[v], before[v]);
+}
+
+}  // namespace
+}  // namespace fg

@@ -1,0 +1,59 @@
+// Parameterized sweep over the KAry healer family — the knob that traces
+// the Theorem-2 degree/stretch tradeoff curve. For every arity the healed
+// star must be connected, with max degree k+1 (internal tree node: parent +
+// k children) and diameter ~2*log_k(d).
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "graph/algorithms.h"
+#include "graph/generators.h"
+#include "harness/metrics.h"
+#include "heal/baselines.h"
+#include "util/rng.h"
+
+namespace fg {
+namespace {
+
+class KArySweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(KArySweep, StarHubDeletionShape) {
+  const int k = GetParam();
+  const int d = 200;
+  KAryHealer h(make_star(d + 1), k);
+  h.remove(0);
+  const Graph& g = h.healed();
+  EXPECT_TRUE(is_connected(g));
+  int maxdeg = 0;
+  for (NodeId v : g.alive_nodes()) maxdeg = std::max(maxdeg, g.degree(v));
+  EXPECT_LE(maxdeg, k + 1);
+  // Complete k-ary tree over d nodes: depth <= ceil(log_k(d)) + 1.
+  int depth_bound = static_cast<int>(std::ceil(std::log(d) / std::log(k))) + 1;
+  EXPECT_LE(exact_diameter(g), 2 * depth_bound);
+}
+
+TEST_P(KArySweep, SurvivesCascade) {
+  const int k = GetParam();
+  Rng rng(static_cast<uint64_t>(k) * 31);
+  KAryHealer h(make_star(100), k);
+  for (int i = 0; i < 80; ++i) {
+    auto alive = h.healed().alive_nodes();
+    h.remove(rng.pick(alive));
+    ASSERT_TRUE(is_connected(h.healed()));
+  }
+}
+
+TEST_P(KArySweep, LargerAritySmallerDiameter) {
+  const int k = GetParam();
+  if (k >= 32) return;  // compare k against 2k
+  KAryHealer small_k(make_star(513), k);
+  KAryHealer big_k(make_star(513), 2 * k);
+  small_k.remove(0);
+  big_k.remove(0);
+  EXPECT_GE(exact_diameter(small_k.healed()), exact_diameter(big_k.healed()));
+}
+
+INSTANTIATE_TEST_SUITE_P(Arities, KArySweep, ::testing::Values(2, 3, 4, 5, 8, 16, 32));
+
+}  // namespace
+}  // namespace fg

@@ -1,0 +1,129 @@
+// Property tests of the ComputeHaft merge plan (Algorithm A.9) — the piece
+// of logic both engines share, whose determinism is what makes the
+// distributed protocol reproducible.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <bit>
+#include <map>
+#include <numeric>
+
+#include "haft/haft.h"
+#include "util/rng.h"
+
+namespace fg::haft {
+namespace {
+
+// Replay a plan and return, for each created node, (leaf_count, height).
+struct Replay {
+  std::vector<int64_t> leaves;
+  std::vector<int> heights;
+};
+
+Replay replay(const std::vector<PieceInfo>& pieces, const std::vector<MergeStep>& plan) {
+  Replay r;
+  for (const auto& p : pieces) {
+    r.leaves.push_back(p.leaf_count);
+    r.heights.push_back(ceil_log2(p.leaf_count));
+  }
+  for (const auto& s : plan) {
+    r.leaves.push_back(r.leaves[static_cast<size_t>(s.left)] +
+                       r.leaves[static_cast<size_t>(s.right)]);
+    r.heights.push_back(1 + std::max(r.heights[static_cast<size_t>(s.left)],
+                                     r.heights[static_cast<size_t>(s.right)]));
+  }
+  return r;
+}
+
+class MergePlanSeeds : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(MergePlanSeeds, ResultIsHaftShapedAndComplete) {
+  Rng rng(GetParam());
+  int k = static_cast<int>(rng.next_int(2, 60));
+  std::vector<PieceInfo> pieces;
+  int64_t total = 0;
+  for (int i = 0; i < k; ++i) {
+    int64_t size = int64_t{1} << rng.next_int(0, 6);
+    pieces.push_back({size, rng.next_u64()});
+    total += size;
+  }
+  auto plan = merge_plan(pieces);
+  ASSERT_EQ(plan.size(), static_cast<size_t>(k - 1));
+
+  // Every step result index is sequential; every node used at most once as
+  // a child; the final tree holds all leaves at Lemma-1 depth.
+  std::vector<int> used(pieces.size() + plan.size(), 0);
+  int next = k;
+  for (const auto& s : plan) {
+    EXPECT_EQ(s.result, next++);
+    EXPECT_LT(s.left, s.result);
+    EXPECT_LT(s.right, s.result);
+    EXPECT_EQ(used[static_cast<size_t>(s.left)]++, 0);
+    EXPECT_EQ(used[static_cast<size_t>(s.right)]++, 0);
+  }
+  auto r = replay(pieces, plan);
+  EXPECT_EQ(r.leaves.back(), total);
+  EXPECT_EQ(r.heights.back(), ceil_log2(total));
+}
+
+TEST_P(MergePlanSeeds, InputOrderIrrelevant) {
+  // The plan is canonical: permuting the input pieces yields the same
+  // multiset of (left_leaves, right_leaves) joins and the same final shape.
+  Rng rng(GetParam() ^ 0x5eedf00d);
+  int k = static_cast<int>(rng.next_int(2, 30));
+  std::vector<PieceInfo> pieces;
+  for (int i = 0; i < k; ++i)
+    pieces.push_back({int64_t{1} << rng.next_int(0, 5), rng.next_u64()});
+
+  auto canonical_joins = [&](const std::vector<PieceInfo>& ps) {
+    auto plan = merge_plan(ps);
+    auto r = replay(ps, plan);
+    std::multiset<std::pair<int64_t, int64_t>> joins;
+    for (const auto& s : plan)
+      joins.insert({r.leaves[static_cast<size_t>(s.left)],
+                    r.leaves[static_cast<size_t>(s.right)]});
+    return joins;
+  };
+
+  auto base = canonical_joins(pieces);
+  for (int trial = 0; trial < 4; ++trial) {
+    auto shuffled = pieces;
+    rng.shuffle(shuffled);
+    EXPECT_EQ(canonical_joins(shuffled), base);
+  }
+}
+
+TEST_P(MergePlanSeeds, Phase2ChainsBiggerOnLeft) {
+  // In every join, the left subtree is at least as big as the right —
+  // that is the haft property at the new root, and also what routes the
+  // helper to the left representative.
+  Rng rng(GetParam() ^ 0xabc);
+  int k = static_cast<int>(rng.next_int(2, 40));
+  std::vector<PieceInfo> pieces;
+  for (int i = 0; i < k; ++i)
+    pieces.push_back({int64_t{1} << rng.next_int(0, 7), rng.next_u64()});
+  auto plan = merge_plan(pieces);
+  auto r = replay(pieces, plan);
+  for (const auto& s : plan)
+    EXPECT_GE(r.leaves[static_cast<size_t>(s.left)],
+              r.leaves[static_cast<size_t>(s.right)]);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, MergePlanSeeds, ::testing::Range(uint64_t{0}, uint64_t{20}));
+
+TEST(MergePlan, AllSingletonsGiveLeftCompleteJoinSizes) {
+  // 2^k singletons: the plan is a perfect elimination tournament.
+  std::vector<PieceInfo> pieces;
+  for (int i = 0; i < 16; ++i) pieces.push_back({1, static_cast<uint64_t>(i)});
+  auto plan = merge_plan(pieces);
+  auto r = replay(pieces, plan);
+  std::map<int64_t, int> size_counts;
+  for (const auto& s : plan) size_counts[r.leaves[static_cast<size_t>(s.result)]]++;
+  EXPECT_EQ(size_counts[2], 8);
+  EXPECT_EQ(size_counts[4], 4);
+  EXPECT_EQ(size_counts[8], 2);
+  EXPECT_EQ(size_counts[16], 1);
+}
+
+}  // namespace
+}  // namespace fg::haft

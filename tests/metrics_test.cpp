@@ -1,0 +1,84 @@
+#include "harness/metrics.h"
+
+#include <gtest/gtest.h>
+
+#include "graph/generators.h"
+
+namespace fg {
+namespace {
+
+TEST(StretchStats, IdentityGraphsHaveStretchOne) {
+  Graph g = make_cycle(10);
+  Rng rng(1);
+  auto s = sample_stretch(g, g, 10, rng);
+  EXPECT_DOUBLE_EQ(s.max_stretch, 1.0);
+  EXPECT_DOUBLE_EQ(s.avg_stretch, 1.0);
+  EXPECT_EQ(s.pairs, 10 * 9);
+  EXPECT_EQ(s.broken_pairs, 0);
+}
+
+TEST(StretchStats, DetoursAreMeasured) {
+  // G' is a cycle of 6; G is the same cycle minus one edge (a path):
+  // antipodal pairs stretch from 1 to 5.
+  Graph gp = make_cycle(6);
+  Graph g = make_cycle(6);
+  g.remove_edge(0, 5);
+  Rng rng(2);
+  auto s = sample_stretch(g, gp, 6, rng);
+  EXPECT_DOUBLE_EQ(s.max_stretch, 5.0);
+  EXPECT_GT(s.avg_stretch, 1.0);
+}
+
+TEST(StretchStats, BrokenPairsCounted) {
+  Graph gp = make_path(4);
+  Graph g = make_path(4);
+  g.remove_edge(1, 2);
+  Rng rng(3);
+  auto s = sample_stretch(g, gp, 4, rng);
+  // 2 nodes on each side: 2*2*2 ordered broken pairs.
+  EXPECT_EQ(s.broken_pairs, 8);
+}
+
+TEST(StretchStats, DeadIntermediariesCountForGPrimeOnly) {
+  // G' has a dead node 1 bridging 0-2 (dist 2); G must route around.
+  Graph gp = make_path(3);
+  Graph g = make_path(3);
+  g.remove_node(1);
+  g.add_edge(0, 2);
+  Rng rng(4);
+  auto s = sample_stretch(g, gp, 3, rng);
+  // dist_G(0,2)=1, dist_G'(0,2)=2: ratio 0.5 (healing can even shorten).
+  EXPECT_DOUBLE_EQ(s.max_stretch, 1.0);
+  EXPECT_LT(s.avg_stretch, 1.0);
+}
+
+TEST(StretchStats, TinyGraphs) {
+  Graph g(1);
+  Rng rng(5);
+  auto s = sample_stretch(g, g, 4, rng);
+  EXPECT_EQ(s.pairs, 0);
+  EXPECT_DOUBLE_EQ(s.max_stretch, 1.0);
+}
+
+TEST(DegreeStats, RatiosComputed) {
+  Graph gp = make_star(5);   // hub degree 4, leaves 1
+  Graph g = make_star(5);
+  g.add_edge(1, 2);
+  g.add_edge(1, 3);
+  auto d = degree_stats(g, gp);
+  EXPECT_DOUBLE_EQ(d.max_ratio, 3.0);  // node 1: degree 3 vs 1
+  EXPECT_EQ(d.max_degree_g, 4);
+  EXPECT_GT(d.avg_ratio, 1.0);
+}
+
+TEST(DegreeStats, SkipsZeroGPrimeDegree) {
+  Graph gp(3);
+  Graph g(3);
+  g.add_edge(0, 1);
+  gp.add_edge(0, 1);
+  auto d = degree_stats(g, gp);  // node 2 has G'-degree 0: skipped
+  EXPECT_DOUBLE_EQ(d.max_ratio, 1.0);
+}
+
+}  // namespace
+}  // namespace fg

@@ -1,0 +1,107 @@
+#include "net/network.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+namespace fg::net {
+namespace {
+
+TEST(Network, DeliversMessage) {
+  Network net;
+  std::vector<std::pair<NodeId, std::string>> got;
+  net.set_handler([&](NodeId to, NodeId from, const std::any& p) {
+    (void)from;
+    got.push_back({to, std::any_cast<std::string>(p)});
+  });
+  net.send(1, 2, std::string("hi"), 1);
+  int rounds = net.run_to_quiescence();
+  EXPECT_EQ(rounds, 1);
+  ASSERT_EQ(got.size(), 1u);
+  EXPECT_EQ(got[0].first, 2);
+  EXPECT_EQ(got[0].second, "hi");
+}
+
+TEST(Network, UnitLatencyRounds) {
+  // A chain of k forwards takes k rounds.
+  Network net;
+  net.set_handler([&](NodeId to, NodeId, const std::any& p) {
+    int hops = std::any_cast<int>(p);
+    if (hops > 0) net.send(to, to + 1, hops - 1, 1);
+  });
+  net.send(0, 1, 4, 1);
+  EXPECT_EQ(net.run_to_quiescence(), 5);
+  EXPECT_EQ(net.stats().messages, 5);
+}
+
+TEST(Network, ParallelMessagesShareARound) {
+  Network net;
+  int delivered = 0;
+  net.set_handler([&](NodeId, NodeId, const std::any&) { ++delivered; });
+  for (int i = 0; i < 10; ++i) net.send(0, i, i, 2);
+  EXPECT_EQ(net.run_to_quiescence(), 1);
+  EXPECT_EQ(delivered, 10);
+  EXPECT_EQ(net.stats().messages, 10);
+  EXPECT_EQ(net.stats().words, 20);
+}
+
+TEST(Network, StatsTrackMaxMessageAndPerNode) {
+  Network net;
+  net.set_handler([](NodeId, NodeId, const std::any&) {});
+  net.send(7, 1, 0, 3);
+  net.send(7, 2, 0, 11);
+  net.send(8, 3, 0, 2);
+  net.run_to_quiescence();
+  EXPECT_EQ(net.stats().max_message_words, 11);
+  EXPECT_EQ(net.stats().max_node_sent(), 2);  // node 7 sent twice
+  EXPECT_EQ(net.stats().sent_by.at(8), 1);
+}
+
+TEST(Network, PerNodeRoundWordsTracked) {
+  // Node 0 sends 3+4 words in the setup round, then node 1 sends 10 in the
+  // next; metric = max over (node, round).
+  Network net;
+  net.set_handler([&](NodeId to, NodeId, const std::any&) {
+    if (to == 1) net.send(1, 2, 0, 10);
+  });
+  net.send(0, 1, 0, 3);
+  net.send(0, 3, 0, 4);  // setup "round": node 0 sent 7 words total
+  net.run_to_quiescence();
+  EXPECT_EQ(net.stats().max_node_round_words, 10);
+
+  net.stats().reset();
+  net.send(0, 2, 0, 6);
+  net.send(0, 2, 0, 7);
+  net.run_to_quiescence();
+  EXPECT_EQ(net.stats().max_node_round_words, 13);
+}
+
+TEST(Network, ResetClearsCounters) {
+  Network net;
+  net.set_handler([](NodeId, NodeId, const std::any&) {});
+  net.send(0, 1, 0, 5);
+  net.run_to_quiescence();
+  net.stats().reset();
+  EXPECT_EQ(net.stats().messages, 0);
+  EXPECT_EQ(net.stats().words, 0);
+  EXPECT_EQ(net.stats().rounds, 0);
+  EXPECT_EQ(net.stats().max_node_sent(), 0);
+}
+
+TEST(Network, IdleWhenEmpty) {
+  Network net;
+  net.set_handler([](NodeId, NodeId, const std::any&) {});
+  EXPECT_TRUE(net.idle());
+  EXPECT_EQ(net.run_to_quiescence(), 0);
+}
+
+TEST(NetworkDeathTest, RunawayProtocolAborts) {
+  Network net;
+  net.set_handler([&](NodeId to, NodeId, const std::any&) { net.send(to, to, 0, 1); });
+  net.send(0, 0, 0, 1);
+  EXPECT_DEATH(net.run_to_quiescence(100), "quiesce");
+}
+
+}  // namespace
+}  // namespace fg::net

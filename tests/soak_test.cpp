@@ -1,0 +1,99 @@
+// Soak tests: longer adversarial schedules than the unit suites, exercising
+// deep RT merge chains, large churn, and the interplay of all modules. Kept
+// within a few seconds total; the benches cover the large scales.
+#include <gtest/gtest.h>
+
+#include "fg/dist/dist_forgiving_graph.h"
+#include "fg/forgiving_graph.h"
+#include "graph/algorithms.h"
+#include "graph/generators.h"
+#include "haft/haft.h"
+#include "harness/metrics.h"
+#include "util/rng.h"
+
+namespace fg {
+namespace {
+
+TEST(Soak, CentralizedLongChurn) {
+  Rng rng(0xC0FFEE);
+  Graph g0 = make_erdos_renyi(300, 8.0 / 300, rng);
+  ForgivingGraph fg(g0);
+  for (int step = 0; step < 1200; ++step) {
+    auto alive = fg.healed().alive_nodes();
+    if (alive.size() > 30 && rng.next_bool(0.62)) {
+      fg.remove(rng.pick(alive));
+    } else {
+      rng.shuffle(alive);
+      alive.resize(std::min<size_t>(static_cast<size_t>(rng.next_int(1, 4)), alive.size()));
+      fg.insert(alive);
+    }
+    if (step % 200 == 199) {
+      ASSERT_TRUE(is_connected(fg.healed())) << "step " << step;
+      ASSERT_LE(fg.max_degree_ratio(), 4.0) << "step " << step;
+    }
+  }
+  fg.validate();
+  Rng srng(1);
+  auto s = sample_stretch(fg.healed(), fg.gprime(), 24, srng);
+  EXPECT_EQ(s.broken_pairs, 0);
+  EXPECT_LE(s.max_stretch, std::max(1, haft::ceil_log2(fg.gprime().node_capacity())));
+}
+
+TEST(Soak, GrindAStarToDust) {
+  // Delete every node of a big star one by one; the RT must absorb every
+  // deletion while staying a haft of logarithmic depth.
+  ForgivingGraph fg(make_star(513));
+  Rng rng(77);
+  while (fg.healed().alive_count() > 2) {
+    auto alive = fg.healed().alive_nodes();
+    fg.remove(rng.pick(alive));
+    ASSERT_TRUE(is_connected(fg.healed()));
+    ASSERT_LE(fg.max_degree_ratio(), 4.0);
+  }
+  fg.validate();
+}
+
+TEST(Soak, DistributedEquivalenceLongRun) {
+  Rng rng(0xBEEF);
+  Graph g0 = make_barabasi_albert(120, 2, rng);
+  ForgivingGraph central(g0);
+  dist::DistForgivingGraph distributed(g0);
+  for (int step = 0; step < 220; ++step) {
+    auto alive = central.healed().alive_nodes();
+    if (alive.size() > 10 && rng.next_bool(0.7)) {
+      NodeId v = rng.pick(alive);
+      central.remove(v);
+      distributed.remove(v);
+    } else {
+      rng.shuffle(alive);
+      alive.resize(std::min<size_t>(2, alive.size()));
+      central.insert(alive);
+      distributed.insert(alive);
+    }
+    if (step % 40 == 39) {
+      ASSERT_TRUE(central.healed().same_topology(distributed.image())) << "step " << step;
+    }
+  }
+  EXPECT_TRUE(central.healed().same_topology(distributed.image()));
+  central.validate();
+  distributed.validate();
+}
+
+TEST(Soak, StageWiseGrind) {
+  Rng rng(0xABBA);
+  dist::DistForgivingGraph net(make_erdos_renyi(150, 8.0 / 150, rng),
+                               dist::MergeMode::kStageWise);
+  for (int step = 0; step < 120; ++step) {
+    Graph img = net.image();
+    auto alive = img.alive_nodes();
+    if (alive.size() <= 12) break;
+    net.remove(rng.pick(alive));
+  }
+  net.validate();
+  ASSERT_TRUE(is_connected(net.image()));
+  auto d = degree_stats(net.image(), net.gprime());
+  EXPECT_LE(d.max_ratio, 4.0);
+}
+
+}  // namespace
+}  // namespace fg

@@ -1,0 +1,120 @@
+// Tests of the stage-wise (paper-faithful BottomupRTMerge) merge mode:
+// structural validity of the healed topology, the Theorem-1 bounds, and the
+// O(log n) piece-list message size it restores.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "fg/dist/dist_forgiving_graph.h"
+#include "fg/forgiving_graph.h"
+#include "graph/algorithms.h"
+#include "graph/generators.h"
+#include "haft/haft.h"
+#include "harness/metrics.h"
+#include "util/rng.h"
+
+namespace fg::dist {
+namespace {
+
+TEST(StageWise, StarHubDeletionHealsConnected) {
+  DistForgivingGraph net(make_star(65), MergeMode::kStageWise);
+  net.remove(0);
+  net.validate();
+  Graph g = net.image();
+  EXPECT_TRUE(is_connected(g));
+  for (NodeId v = 1; v <= 64; ++v) EXPECT_LE(g.degree(v), 4);
+  // RT over 64 leaves: diameter through the haft <= 2*log2(64).
+  EXPECT_LE(exact_diameter(g), 12);
+}
+
+TEST(StageWise, MessageSizeStaysLogarithmic) {
+  // The point of stage-wise merging: list messages never exceed O(log n)
+  // pieces. A piece is 8 words; allow the +1 header and slack for the
+  // carries of three combined lists.
+  for (int n : {64, 256, 1024, 4096}) {
+    DistForgivingGraph net(make_star(n), MergeMode::kStageWise);
+    net.remove(0);
+    int limit = 8 * (3 * haft::ceil_log2(n) + 4) + 1;
+    EXPECT_LE(net.last_repair_cost().max_message_words, limit) << "n=" << n;
+  }
+}
+
+TEST(StageWise, GlobalModeMessagesGrowLinearlyStageWiseDoNot) {
+  DistForgivingGraph global(make_star(2049), MergeMode::kGlobalPlan);
+  DistForgivingGraph staged(make_star(2049), MergeMode::kStageWise);
+  global.remove(0);
+  staged.remove(0);
+  EXPECT_GT(global.last_repair_cost().max_message_words, 8000);
+  EXPECT_LT(staged.last_repair_cost().max_message_words, 400);
+}
+
+TEST(StageWise, SameLeafSetAsCentralizedDifferentAssociationAllowed) {
+  // Stage-wise topology may differ from the reference engine, but it must
+  // heal the same node set with the same connectivity and bounds.
+  Rng rng(17);
+  Graph g0 = make_erdos_renyi(40, 0.15, rng);
+  DistForgivingGraph staged(g0, MergeMode::kStageWise);
+  fg::ForgivingGraph central(g0);
+  for (int i = 0; i < 25; ++i) {
+    auto alive = central.healed().alive_nodes();
+    NodeId v = rng.pick(alive);
+    staged.remove(v);
+    central.remove(v);
+    Graph gs = staged.image();
+    ASSERT_EQ(gs.alive_count(), central.healed().alive_count());
+    ASSERT_TRUE(is_connected(gs));
+    staged.validate();
+  }
+}
+
+TEST(StageWise, TheoremBoundsUnderChurn) {
+  Rng rng(29);
+  Graph g0 = make_erdos_renyi(50, 0.12, rng);
+  DistForgivingGraph net(g0, MergeMode::kStageWise);
+  for (int step = 0; step < 45; ++step) {
+    Graph img = net.image();
+    bool del = img.alive_count() > 2 && rng.next_bool(0.7);
+    if (del) {
+      auto alive = img.alive_nodes();
+      net.remove(rng.pick(alive));
+    } else {
+      auto alive = img.alive_nodes();
+      rng.shuffle(alive);
+      alive.resize(std::min<size_t>(2, alive.size()));
+      net.insert(alive);
+    }
+    if (step % 9 == 0) net.validate();
+  }
+  net.validate();
+  Graph img = net.image();
+  auto d = degree_stats(img, net.gprime());
+  EXPECT_LE(d.max_ratio, 4.0);
+  Rng srng(1);
+  auto s = sample_stretch(img, net.gprime(), 16, srng);
+  EXPECT_EQ(s.broken_pairs, 0);
+  EXPECT_LE(s.max_stretch, std::max(1, haft::ceil_log2(net.gprime().node_capacity())));
+}
+
+TEST(StageWise, SequentialAdjacentDeletions) {
+  DistForgivingGraph net(make_path(8), MergeMode::kStageWise);
+  for (NodeId v = 1; v <= 5; ++v) {
+    net.remove(v);
+    net.validate();
+    ASSERT_TRUE(is_connected(net.image()));
+  }
+}
+
+TEST(CarryPlan, LeavesDistinctSizes) {
+  std::vector<haft::PieceInfo> pieces;
+  for (int i = 0; i < 11; ++i) pieces.push_back({1, static_cast<uint64_t>(i)});
+  auto plan = haft::carry_plan(pieces);
+  // 11 = 1011b: carries reduce 11 singletons to 3 trees (8+2+1) in 8 joins.
+  EXPECT_EQ(plan.size(), 8u);
+}
+
+TEST(CarryPlan, NoOpOnDistinctSizes) {
+  EXPECT_TRUE(haft::carry_plan({{1, 0}, {2, 1}, {8, 2}}).empty());
+}
+
+}  // namespace
+}  // namespace fg::dist

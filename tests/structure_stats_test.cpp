@@ -1,0 +1,76 @@
+#include "harness/structure_stats.h"
+
+#include <gtest/gtest.h>
+
+#include "graph/generators.h"
+#include "haft/haft.h"
+#include "util/rng.h"
+
+namespace fg {
+namespace {
+
+TEST(StructureStats, EmptyForestBeforeDeletions) {
+  ForgivingGraph fg(make_cycle(6));
+  auto s = structure_stats(fg);
+  EXPECT_EQ(s.rt_count, 0);
+  EXPECT_EQ(s.total_leaves, 0);
+  EXPECT_EQ(s.total_helpers, 0);
+  EXPECT_EQ(s.max_helpers_per_processor, 0);
+}
+
+TEST(StructureStats, SingleStarDeletion) {
+  ForgivingGraph fg(make_star(9));
+  fg.remove(0);
+  auto s = structure_stats(fg);
+  EXPECT_EQ(s.rt_count, 1);
+  EXPECT_EQ(s.total_leaves, 8);
+  EXPECT_EQ(s.total_helpers, 7);
+  EXPECT_EQ(s.largest_rt_leaves, 8);
+  EXPECT_EQ(s.max_rt_depth, 3);  // perfect haft over 8 leaves
+  EXPECT_EQ(s.max_helpers_per_processor, 1);  // one slot per leaf processor
+}
+
+TEST(StructureStats, HistogramSumsToAliveProcessors) {
+  Rng rng(3);
+  Graph g0 = make_erdos_renyi(40, 0.15, rng);
+  ForgivingGraph fg(g0);
+  for (int i = 0; i < 20; ++i) {
+    auto alive = fg.healed().alive_nodes();
+    fg.remove(rng.pick(alive));
+  }
+  auto s = structure_stats(fg);
+  int64_t sum = 0;
+  for (int64_t c : s.helper_histogram) sum += c;
+  EXPECT_EQ(sum, fg.healed().alive_count());
+  EXPECT_EQ(s.total_leaves - s.rt_count, s.total_helpers);  // L-1 helpers per RT
+  EXPECT_LE(s.max_rt_depth, haft::ceil_log2(std::max<int64_t>(2, s.largest_rt_leaves)));
+}
+
+TEST(StructureStats, HelperLoadBalancedOnStarCascade) {
+  // Lemma 3: no processor ever simulates more helpers than its dead edge
+  // slots; on a star every leaf has one slot, so the load is perfectly flat.
+  ForgivingGraph fg(make_star(65));
+  fg.remove(0);
+  for (NodeId v = 1; v <= 30; ++v) fg.remove(v);
+  auto s = structure_stats(fg);
+  EXPECT_EQ(s.max_helpers_per_processor, 1);
+  EXPECT_EQ(s.rt_count, 1);
+}
+
+TEST(StructureStats, RTCountTracksIndependentDeletions) {
+  // Deleting nodes in separate regions of a path creates separate RTs.
+  ForgivingGraph fg(make_path(12));
+  fg.remove(2);
+  fg.remove(8);
+  auto s = structure_stats(fg);
+  EXPECT_EQ(s.rt_count, 2);
+  fg.remove(5);  // between them, but not adjacent: third RT
+  s = structure_stats(fg);
+  EXPECT_EQ(s.rt_count, 3);
+  fg.remove(3);  // adjacent to RT(2) and ... merges RT(2) with RT(5)'s side?
+  s = structure_stats(fg);
+  EXPECT_LE(s.rt_count, 3);
+}
+
+}  // namespace
+}  // namespace fg

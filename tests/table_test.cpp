@@ -1,0 +1,51 @@
+#include "util/table.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+namespace fg {
+namespace {
+
+TEST(Table, AlignedOutputContainsCells) {
+  Table t{"name", "value"};
+  t.add("alpha", 3.14159);
+  t.add("b", 42);
+  std::ostringstream os;
+  t.print(os);
+  std::string s = os.str();
+  EXPECT_NE(s.find("name"), std::string::npos);
+  EXPECT_NE(s.find("alpha"), std::string::npos);
+  EXPECT_NE(s.find("3.14"), std::string::npos);
+  EXPECT_NE(s.find("42"), std::string::npos);
+}
+
+TEST(Table, CsvOutput) {
+  Table t{"a", "b"};
+  t.add(1, 2);
+  std::ostringstream os;
+  t.print_csv(os);
+  EXPECT_EQ(os.str(), "a,b\n1,2\n");
+}
+
+TEST(Table, RowAccess) {
+  Table t{"x"};
+  t.add("v1");
+  t.add("v2");
+  ASSERT_EQ(t.row_count(), 2u);
+  EXPECT_EQ(t.row(1)[0], "v2");
+}
+
+TEST(Table, FmtPrecision) {
+  EXPECT_EQ(fmt(1.23456, 2), "1.23");
+  EXPECT_EQ(fmt(1.23456, 4), "1.2346");
+  EXPECT_EQ(fmt(2.0, 0), "2");
+}
+
+TEST(TableDeathTest, RowArityMismatchAborts) {
+  Table t{"a", "b"};
+  EXPECT_DEATH(t.add_row({"only-one"}), "arity");
+}
+
+}  // namespace
+}  // namespace fg

@@ -1,0 +1,87 @@
+#include "harness/trace.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "graph/generators.h"
+#include "heal/baselines.h"
+
+namespace fg {
+namespace {
+
+TEST(Trace, RecordAndReplayReproducesTopology) {
+  Rng rng(5);
+  Graph g0 = make_erdos_renyi(30, 0.15, rng);
+  ForgivingGraphHealer original(g0);
+  ChurnAdversary adv(0.6, 2);
+  Trace trace = record_run(original, adv, 40, rng);
+  EXPECT_EQ(trace.size(), 40u);
+
+  ForgivingGraphHealer replayed(g0);
+  trace.replay(replayed);
+  EXPECT_TRUE(original.healed().same_topology(replayed.healed()));
+  EXPECT_TRUE(original.gprime().same_topology(replayed.gprime()));
+}
+
+TEST(Trace, SaveLoadRoundTrip) {
+  Trace t;
+  t.record(Action{Action::Kind::kDelete, 7, {}});
+  t.record(Action{Action::Kind::kInsert, kInvalidNode, {1, 2, 3}});
+  t.record(Action{Action::Kind::kDelete, 2, {}});
+
+  std::stringstream ss;
+  t.save(ss);
+  Trace loaded = Trace::load(ss);
+  ASSERT_EQ(loaded.size(), 3u);
+  EXPECT_EQ(loaded.actions()[0].kind, Action::Kind::kDelete);
+  EXPECT_EQ(loaded.actions()[0].target, 7);
+  EXPECT_EQ(loaded.actions()[1].kind, Action::Kind::kInsert);
+  EXPECT_EQ(loaded.actions()[1].neighbors, (std::vector<NodeId>{1, 2, 3}));
+  EXPECT_EQ(loaded.actions()[2].target, 2);
+}
+
+TEST(Trace, LoadIgnoresCommentsAndBlankLines) {
+  std::stringstream ss("# header\n\nd 3\n# mid\ni 0 1\n");
+  Trace t = Trace::load(ss);
+  ASSERT_EQ(t.size(), 2u);
+  EXPECT_EQ(t.actions()[0].target, 3);
+}
+
+TEST(Trace, PrefixForBisection) {
+  Trace t;
+  for (NodeId v = 0; v < 10; ++v) t.record(Action{Action::Kind::kDelete, v, {}});
+  EXPECT_EQ(t.prefix(4).size(), 4u);
+  EXPECT_EQ(t.prefix(99).size(), 10u);
+  EXPECT_EQ(t.prefix(0).size(), 0u);
+}
+
+TEST(Trace, ReplayAcrossDifferentHealers) {
+  // A single recorded schedule drives every strategy — the comparison mode
+  // the benches rely on.
+  Graph g0 = make_star(12);
+  ForgivingGraphHealer rec(g0);
+  RandomDeleteAdversary adv(4);
+  Rng rng(9);
+  Trace trace = record_run(rec, adv, 8, rng);
+
+  LineHealer line(g0);
+  trace.replay(line);
+  EXPECT_EQ(line.healed().alive_count(), rec.healed().alive_count());
+  EXPECT_TRUE(line.gprime().same_topology(rec.gprime()));
+}
+
+TEST(TraceDeathTest, ReplayOnWrongGraphAborts) {
+  Trace t;
+  t.record(Action{Action::Kind::kDelete, 5, {}});
+  ForgivingGraphHealer h(make_path(3));  // node 5 does not exist
+  EXPECT_DEATH(t.replay(h), "dead");
+}
+
+TEST(TraceDeathTest, MalformedLineAborts) {
+  std::stringstream ss("x 1 2\n");
+  EXPECT_DEATH(Trace::load(ss), "malformed");
+}
+
+}  // namespace
+}  // namespace fg
