@@ -1,0 +1,209 @@
+// Distributed Forgiving Graph protocol (Sections 3-5, Lemma 4).
+//
+// The same self-healing algorithm as fg::ForgivingGraph, but executed as a
+// message-passing protocol over the round-synchronous simulator in
+// net::Network, with the paper's cost metrics measured per repair:
+// messages, words, rounds, largest message, and per-node traffic.
+//
+// Model assumptions (the paper's, Figure 1):
+//   * When processor v is deleted, every processor owning a virtual node in
+//     an RT touched by the deletion learns of it in the detection round
+//     (processors replicate, per incident edge slot, the Table-1 metadata of
+//     the far endpoint — a node's "will" in the self-healing literature).
+//   * Messages are delivered reliably but, under a non-default
+//     net::DeliveryPolicy, with arbitrary per-message delay and order. The
+//     protocol must tolerate this; only `rounds` may change.
+//
+// Repair pipeline for a deletion of v with G'-degree d:
+//   1. Teardown   — owners of dead and red virtual nodes notify their tree
+//                   neighbors; maximal clean perfect subtrees ("pieces")
+//                   detach. O(d log n) messages of O(1) words.
+//   2. Report     — every participant (anchor or piece owner) reports its
+//                   piece list to the coordinator (least-id participant).
+//   3. Merge      — mode-dependent, see MergeMode below.
+//   4. Execute    — each helper's owner (the representative of the join's
+//                   left subtree, Algorithm A.9) links the join's children.
+//
+// Two merge modes:
+//   * kGlobalPlan: the coordinator computes the full deterministic
+//     ComputeHaft plan (haft::merge_plan) and broadcasts it down a binary
+//     tree over the participants. Every helper owner then acts in parallel,
+//     giving O(log d + log n) rounds — within the paper's O(log d log n)
+//     budget — at the price of O(pieces)-word plan messages. Because the
+//     plan is exactly the one the centralized engine executes, the healed
+//     topology is bit-identical to fg::ForgivingGraph under every
+//     adversarial schedule and every delivery policy.
+//   * kStageWise: the paper-faithful BottomupRTMerge. Piece lists climb the
+//     participant tree; at each stage equal-sized trees are joined
+//     immediately (haft::carry_plan), so every list in flight has pairwise
+//     distinct sizes and every message stays at O(log n) words. The final
+//     association may differ from the centralized engine's, but the result
+//     is the same leaf set in a valid haft, so all Theorem-1 bounds hold.
+//
+// Invariants maintained (checked by validate()):
+//   * every RT is a haft over the real nodes of its dead edge slots;
+//   * every internal RT node's representative is its unique free leaf;
+//   * each helper is an ancestor of its own slot's leaf;
+//   * the image graph G equals the homomorphic image of G' minus dead
+//     processors plus the virtual forest, rebuilt from scratch.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <unordered_map>
+#include <vector>
+
+#include "fg/virtual_forest.h"
+#include "graph/graph.h"
+#include "haft/haft.h"
+#include "net/network.h"
+
+namespace fg::dist {
+
+/// How the pieces of broken RTs are reassembled after a deletion.
+enum class MergeMode {
+  kGlobalPlan,  ///< Coordinator broadcasts the full ComputeHaft plan.
+  kStageWise,   ///< BottomupRTMerge: carry-merge at every aggregation stage.
+};
+
+/// Cost sheet of the most recent repair (the quantities Lemma 4 bounds).
+struct RepairCost {
+  int deleted_degree = 0;  ///< Degree of the deleted node in G'.
+  int anchors = 0;         ///< Alive direct G'-neighbors of the deleted node.
+  int pieces = 0;          ///< Perfect trees merged (incl. fresh leaves).
+  int bt_edges = 0;        ///< Edges of the participant aggregation tree.
+  int64_t messages = 0;    ///< Messages sent during the repair.
+  int64_t words = 0;       ///< Total payload words sent.
+  int rounds = 0;          ///< Rounds to quiescence.
+  int max_message_words = 0;        ///< Largest single message.
+  int64_t max_node_messages = 0;    ///< Most messages sent by one processor.
+  int64_t max_node_round_words = 0; ///< Paper metric 3: words/node/round.
+};
+
+/// Traffic accumulated over the object's lifetime (all inserts + repairs).
+struct LifetimeStats {
+  int64_t messages = 0;
+  int64_t words = 0;
+  int64_t rounds = 0;
+};
+
+/// The Forgiving Graph as a distributed protocol over net::Network.
+class DistForgivingGraph {
+ public:
+  /// Start from a connected network G0; ids 0..n-1 become live processors.
+  explicit DistForgivingGraph(const Graph& g0,
+                              MergeMode mode = MergeMode::kGlobalPlan);
+
+  /// Adversarial insertion: the new processor introduces itself to each
+  /// neighbor (one message per new edge). Returns the new processor id.
+  NodeId insert(std::span<const NodeId> neighbors);
+
+  /// Adversarial deletion of `v` followed by the distributed repair.
+  void remove(NodeId v);
+
+  /// The healed network G (homomorphic image of G' + virtual forest).
+  const Graph& image() const { return g_; }
+
+  /// The insertions-only graph G' (deleted processors still present).
+  const Graph& gprime() const { return gprime_; }
+
+  bool is_alive(NodeId v) const { return g_.is_alive(v); }
+
+  const RepairCost& last_repair_cost() const { return last_cost_; }
+  const LifetimeStats& lifetime_stats() const { return lifetime_; }
+
+  /// The underlying simulator (stats access; resettable between phases).
+  net::Network& network() { return net_; }
+
+  /// Install a delivery policy (asynchrony knobs). Structure is unaffected;
+  /// only `rounds` may grow.
+  void set_delivery_policy(const net::DeliveryPolicy& policy) {
+    net_.set_policy(policy);
+  }
+
+  const VirtualForest& forest() const { return forest_; }
+  MergeMode mode() const { return mode_; }
+
+  /// Full invariant check (expensive; see file comment).
+  void validate() const;
+
+ private:
+  struct Slot {
+    VNodeId leaf = kNoVNode;
+    VNodeId helper = kNoVNode;
+  };
+  struct Proc {
+    bool alive = true;
+    std::unordered_map<NodeId, Slot> slots;  // keyed by the other endpoint
+  };
+
+  /// One protocol message in the repair's dependency DAG. A message is sent
+  /// once every message it depends on has been delivered; messages with
+  /// from == to are local computation and bypass the network (uncounted,
+  /// instantaneous), exactly like the homomorphism collapses same-processor
+  /// virtual edges.
+  struct DagMsg {
+    NodeId from = kInvalidNode;
+    NodeId to = kInvalidNode;
+    int words = 1;
+    std::vector<int> deps;
+  };
+
+  /// A piece (perfect subtree) awaiting merge, with the DAG event that
+  /// detached it (-1 if it was never attached, e.g. a fresh anchor leaf).
+  struct PieceCtx {
+    VNodeId root = kNoVNode;
+    int detach_msg = -1;
+  };
+
+  static uint64_t edge_key(NodeId u, NodeId v);
+  void add_image_edge(NodeId u, NodeId v);
+  void remove_image_edge(NodeId u, NodeId v);
+  void detach_vnode(VNodeId h);
+  void remove_vnode(VNodeId h);
+  void collect_pieces(VNodeId root, const std::vector<char>& is_dead_vnode,
+                      std::vector<PieceCtx>* out);
+
+  NodeId piece_owner(const PieceCtx& p) const {
+    return forest_.node(p.root).owner;
+  }
+  haft::PieceInfo piece_info(const PieceCtx& p) const;
+
+  /// Structural join of two piece roots through the representative
+  /// mechanism (identical to the centralized engine's merge step).
+  /// Returns the context of the merged piece.
+  PieceCtx join_pieces(const PieceCtx& l, const PieceCtx& r);
+
+  // --- DAG construction helpers (see dist_forgiving_graph.cpp).
+  int add_msg(NodeId from, NodeId to, int words, std::vector<int> deps);
+  std::vector<int> know_deps(NodeId u) const;
+  void merge_global(std::vector<PieceCtx> pieces,
+                    const std::vector<NodeId>& participants);
+  void merge_stage_wise(std::vector<PieceCtx> pieces,
+                        const std::vector<NodeId>& participants);
+  void run_dag();
+  void dispatch_msg(int i);
+  void on_delivered(int i);
+
+  MergeMode mode_ = MergeMode::kGlobalPlan;
+  Graph gprime_;
+  Graph g_;
+  VirtualForest forest_;
+  std::vector<Proc> procs_;
+  std::unordered_map<uint64_t, int> image_multiplicity_;
+
+  net::Network net_;
+  RepairCost last_cost_;
+  LifetimeStats lifetime_;
+
+  // Per-repair DAG state.
+  std::vector<DagMsg> msgs_;
+  std::vector<int> unmet_;
+  std::vector<std::vector<int>> dependents_;
+  std::vector<int> report_msgs_;              ///< What the coordinator waits on.
+  NodeId coordinator_ = kInvalidNode;
+  NodeId deleting_ = kInvalidNode;            ///< Victim of the repair in flight.
+  std::unordered_map<NodeId, int> know_;      ///< Plan-knowledge event per node.
+};
+
+}  // namespace fg::dist

@@ -14,6 +14,21 @@
 // The distributed protocol (fg/dist) produces bit-identical topologies; the
 // equivalence test in tests/dist_equivalence_test.cpp relies on both engines
 // sharing haft::merge_plan and the slot_key ordering.
+//
+// Invariants maintained after every insert/remove (checked by validate()):
+//   I1. Slot consistency: processor u has a slot keyed by w iff (u, w) is a
+//       G' edge whose far endpoint w is dead; the slot always holds the real
+//       (leaf) node of that edge and at most one helper.
+//   I2. Every Reconstruction Tree in the virtual forest is a haft over the
+//       real nodes of its dead edge slots (Lemma 1 bounds its depth by
+//       ceil(log2 leaves)).
+//   I3. Representative: every internal RT node's `rep` is the unique leaf of
+//       its subtree whose slot simulates no helper inside that subtree —
+//       which is why each processor gains at most one helper (≤ 3 virtual
+//       degree, ≤ 4 network degree) per G' edge.
+//   I4. Each helper is an ancestor of its own slot's leaf (Lemma 3).
+//   I5. G is exactly the homomorphic image: G' minus dead processors, plus
+//       one edge per virtual tree edge whose endpoints have distinct owners.
 #pragma once
 
 #include <cstdint>

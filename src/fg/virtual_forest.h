@@ -11,6 +11,19 @@
 // Identity of a virtual node follows Table 1 of the paper: it is determined
 // by an edge (owner, other) of G' plus a kind bit — the *real* (leaf) node of
 // that edge, or the at-most-one *helper* node the owner simulates for it.
+//
+// Invariants maintained on every live node (asserted by valid_haft and the
+// virtual_forest tests):
+//   V1. Parent/child links are symmetric, and height/leaf_count are exact
+//       aggregates of the subtree.
+//   V2. Every subtree satisfies the haft property: the left child of an
+//       internal node is perfect and at least as leafy as the right child.
+//   V3. `rep` of an internal node is a leaf of its subtree; make_helper
+//       installs the left child's rep as the new helper's simulator and
+//       propagates the right child's rep upward (Algorithm A.9), keeping
+//       each (owner, other) slot to at most one helper forest-wide.
+//   V4. Tombstoned nodes are never resurrected; handles stay stable across
+//       dump()/from_dump() so engine checkpoints can round-trip.
 #pragma once
 
 #include <cstdint>

@@ -18,6 +18,16 @@
 //     merged haft. Both the centralized Forgiving Graph engine and the
 //     distributed protocol execute this same plan, which is what makes the
 //     two implementations produce bit-identical topologies.
+//
+// Invariants of every haft with l leaves (asserted by is_haft / the tests):
+//   H1. Each internal node has exactly two children.
+//   H2. Each internal node's left child is perfect (leaf_count == 2^height)
+//       and holds at least half of the node's leaf descendants.
+//   H3. depth == ceil(log2 l), and the multiset of primary-root sizes
+//       produced by Strip is exactly the binary representation of l
+//       (popcount(l) perfect trees of distinct power-of-two sizes).
+//   H4. haft(l) is unique: any join order merge_plan emits reassembles the
+//       same shape (Lemma 1), which is what makes merging deterministic.
 #pragma once
 
 #include <cstdint>

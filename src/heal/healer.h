@@ -5,6 +5,18 @@
 // metrics (degree increase, stretch) are defined. The experiment harness
 // drives healers through adversarial insert/delete schedules and samples the
 // metrics from these two graphs.
+//
+// Contract every implementation maintains (relied on by harness/ and the
+// baseline comparison benches):
+//   C1. G' only ever gains nodes and edges; deletions never touch it.
+//   C2. The alive sets of G and G' agree: a processor is alive in G iff it
+//       has not been removed, and node ids are allocated identically, so
+//       per-node metrics can be joined across the two graphs.
+//   C3. insert() attaches the new processor to exactly the given neighbors
+//       in both graphs; remove() deletes the node from G and then applies
+//       the strategy's repair to G alone.
+//   C4. Healers are deterministic given the schedule — the trace module can
+//       replay any run bit-identically for bisection.
 #pragma once
 
 #include <memory>
