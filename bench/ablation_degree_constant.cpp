@@ -82,7 +82,7 @@ void random_search() {
   Table t{"schedules", "worst ratio found", "seed", "paper bound", "per-slot bound"};
   t.add(2000, fmt(global_worst), std::to_string(worst_seed), "3.00", "4.00");
   t.print(std::cout);
-  std::cout << "\nConclusion (recorded in EXPERIMENTS.md): the worst observed ratio is "
+  std::cout << "\nConclusion (recorded in docs/EXPERIMENTS.md): the worst observed ratio is "
             << fmt(global_worst)
             << ".\nThe construction guarantees deg(v,G) <= deg(v,G') + 3*helpers(v) <= "
                "4*deg(v,G');\nthe paper's multiplicative constant 3 is attained only when "

@@ -1,6 +1,6 @@
 // Shared helpers for the experiment binaries: named graph construction and
 // formatting. Every binary prints a self-contained, seeded, reproducible
-// table to stdout (see EXPERIMENTS.md for the paper-vs-measured record).
+// table to stdout (see docs/EXPERIMENTS.md for the paper-vs-measured record).
 #pragma once
 
 #include <string>

@@ -17,7 +17,7 @@ namespace {
 
 void run() {
   std::cout << "=== T1 (Theorem 1.1): max degree ratio deg(v,G)/deg(v,G') ===\n"
-            << "Bound claimed by the paper: 3.00 (see EXPERIMENTS.md note on the\n"
+            << "Bound claimed by the paper: 3.00 (see docs/EXPERIMENTS.md note on the\n"
             << "pre-collapse accounting bound of 4.00).\n\n";
 
   Table t{"graph", "adversary", "n", "healer", "max ratio", "avg ratio", "bound ok"};

@@ -10,7 +10,7 @@
 // inserted nodes onto the tree by their first neighbor, the natural
 // extension).
 //
-// Implementation note (DESIGN.md substitution table): structurally, the
+// Implementation note (docs/DESIGN.md substitution table): structurally, the
 // Forgiving Tree is the Forgiving Graph restricted to a spanning tree —
 // per-deletion balanced reconstruction with helper reuse. We implement it
 // exactly that way: an inner ForgivingGraph engine driven with the spanning

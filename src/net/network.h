@@ -1,5 +1,5 @@
 // Synchronous message-passing network simulator — the substrate standing in
-// for a real peer-to-peer deployment (DESIGN.md substitution S4).
+// for a real peer-to-peer deployment (docs/DESIGN.md substitution S4).
 //
 // The paper's model (Figure 1) measures repairs in messages, bits per node,
 // and rounds under unit edge latency. This simulator implements exactly that

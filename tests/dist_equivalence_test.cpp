@@ -1,7 +1,7 @@
 // Equivalence of the two engines: for any adversarial schedule, the
 // distributed protocol must produce exactly the topology of the centralized
 // reference implementation (both execute the same deterministic ComputeHaft
-// plan over the same piece set — DESIGN.md invariant 6). This is the
+// plan over the same piece set — docs/DESIGN.md invariant 6). This is the
 // strongest correctness evidence for the message-passing implementation.
 #include <gtest/gtest.h>
 

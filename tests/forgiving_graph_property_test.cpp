@@ -57,7 +57,7 @@ TEST_P(ChurnProperty, InvariantsHoldThroughout) {
     // Full structural validation every few steps (it is expensive).
     if (step % 7 == 0) fg.validate();
 
-    // Theorem 1.1 (see EXPERIMENTS.md on the constant): per-slot accounting
+    // Theorem 1.1 (see docs/EXPERIMENTS.md on the constant): per-slot accounting
     // bound of 4, observed bound of 3 tracked by the benches.
     ASSERT_LE(fg.max_degree_ratio(), 4.0) << "step " << step;
 

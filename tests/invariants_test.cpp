@@ -3,7 +3,7 @@
 //
 //  * per-slot accounting: deg(v, G) <= deg(v, G') + 3 * helpers(v)
 //    (the additive form of Theorem 1.1 that the construction actually
-//    guarantees — EXPERIMENTS.md T1/A2 discuss the multiplicative constant);
+//    guarantees — docs/EXPERIMENTS.md T1/A2 discuss the multiplicative constant);
 //  * an RT over L leaves has exactly L-1 helpers;
 //  * RT diameter: distance between two ex-neighbors through their RT is at
 //    most 2*ceil(log2 L);
