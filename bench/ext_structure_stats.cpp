@@ -28,6 +28,8 @@ void run() {
     if (!a) break;
     if (a->kind == Action::Kind::kDelete)
       healer.remove(a->target);
+    else if (a->kind == Action::Kind::kBatchDelete)
+      healer.remove_batch(a->targets);
     else
       healer.insert(a->neighbors);
     if (step % 250 == 0) {

@@ -89,6 +89,90 @@ void BM_DistributedRepair(benchmark::State& state) {
 }
 BENCHMARK(BM_DistributedRepair)->Arg(256)->Arg(1024)->Unit(benchmark::kMicrosecond);
 
+void BM_RtBreakup(benchmark::State& state) {
+  // The repair hot path under sustained attack: delete the star hub (one big
+  // merge building an RT with n-1 leaves), then time deletions of spoke
+  // owners, each of which breaks the big RT into pieces and re-merges them.
+  // Dominated by piece collection over the large RT.
+  const int n = static_cast<int>(state.range(0));
+  constexpr int kBreakups = 16;
+  for (auto _ : state) {
+    state.PauseTiming();
+    ForgivingGraph fg(make_star(n));
+    fg.remove(0);
+    state.ResumeTiming();
+    for (NodeId v = 1; v <= kBreakups; ++v) fg.remove(v);
+    benchmark::DoNotOptimize(fg.healed().edge_count());
+  }
+  state.SetItemsProcessed(state.iterations() * kBreakups);
+}
+BENCHMARK(BM_RtBreakup)->Arg(1024)->Arg(4096)->Arg(16384)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_WaveSequential(benchmark::State& state) {
+  // A wave of k adversarial deletions healed one repair round at a time
+  // (compare with BM_WaveBatched: same victims, one merged repair).
+  const int n = static_cast<int>(state.range(0));
+  constexpr int kWave = 64;
+  for (auto _ : state) {
+    state.PauseTiming();
+    Rng rng(11);
+    Graph g0 = make_erdos_renyi(n, 8.0 / n, rng);
+    ForgivingGraph fg(g0);
+    auto order = g0.alive_nodes();
+    rng.shuffle(order);
+    order.resize(kWave);
+    state.ResumeTiming();
+    for (NodeId v : order) fg.remove(v);
+    benchmark::DoNotOptimize(fg.healed().edge_count());
+  }
+  state.SetItemsProcessed(state.iterations() * kWave);
+}
+BENCHMARK(BM_WaveSequential)->Arg(1024)->Arg(4096)->Unit(benchmark::kMicrosecond);
+
+void BM_WaveBatched(benchmark::State& state) {
+  // The same wave of victims as BM_WaveSequential, healed by one
+  // delete_batch call: one piece collection, one merged plan, one RT.
+  const int n = static_cast<int>(state.range(0));
+  constexpr int kWave = 64;
+  for (auto _ : state) {
+    state.PauseTiming();
+    Rng rng(11);
+    Graph g0 = make_erdos_renyi(n, 8.0 / n, rng);
+    ForgivingGraph fg(g0);
+    auto order = g0.alive_nodes();
+    rng.shuffle(order);
+    order.resize(kWave);
+    state.ResumeTiming();
+    fg.delete_batch(order);
+    benchmark::DoNotOptimize(fg.healed().edge_count());
+  }
+  state.SetItemsProcessed(state.iterations() * kWave);
+}
+BENCHMARK(BM_WaveBatched)->Arg(1024)->Arg(4096)->Unit(benchmark::kMicrosecond);
+
+void BM_DistWaveBatched(benchmark::State& state) {
+  // Batched wave through the full message-passing protocol: one detection
+  // round and one DAG for all victims (compare against kWave sequential
+  // repairs through BM_DistributedRepair-style runs).
+  const int n = static_cast<int>(state.range(0));
+  constexpr int kWave = 32;
+  for (auto _ : state) {
+    state.PauseTiming();
+    Rng rng(13);
+    Graph g0 = make_erdos_renyi(n, 8.0 / n, rng);
+    dist::DistForgivingGraph net(g0);
+    auto order = g0.alive_nodes();
+    rng.shuffle(order);
+    order.resize(kWave);
+    state.ResumeTiming();
+    net.delete_batch(order);
+    benchmark::DoNotOptimize(net.last_repair_cost().messages);
+  }
+  state.SetItemsProcessed(state.iterations() * kWave);
+}
+BENCHMARK(BM_DistWaveBatched)->Arg(1024)->Unit(benchmark::kMicrosecond);
+
 void BM_Insertion(benchmark::State& state) {
   Rng rng(3);
   Graph g0 = make_erdos_renyi(1024, 8.0 / 1024, rng);

@@ -1,0 +1,162 @@
+// Experiment R1: the repair hot path, timed. Two claims to pin down:
+//
+//   1. Piece collection walks the *dirty region* of a broken RT with an
+//      explicit iterative worklist, so breaking a giant RT costs
+//      O(d log^2 n), not O(RT size) — deleting leaves of a 2^16-leaf hub RT
+//      must not get slower as the RT grows.
+//   2. delete_batch heals a wave of k victims with one piece collection and
+//      one merged plan, beating k sequential repair rounds on wall clock
+//      (centralized) and on messages/rounds (distributed protocol).
+//
+// Prints the measured table and writes the same rows as a
+// BENCH_repair_path.json artifact (cwd) for docs/EXPERIMENTS.md.
+// Wall-clock numbers vary by machine; ratios are the reproducible part.
+#include <chrono>
+#include <cmath>
+#include <fstream>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "bench_common.h"
+#include "fg/dist/dist_forgiving_graph.h"
+#include "fg/forgiving_graph.h"
+#include "graph/generators.h"
+#include "util/rng.h"
+#include "util/table.h"
+
+namespace fg {
+namespace {
+
+double ms_since(std::chrono::steady_clock::time_point t0) {
+  return std::chrono::duration<double, std::milli>(std::chrono::steady_clock::now() -
+                                                   t0)
+      .count();
+}
+
+struct JsonRow {
+  std::string scenario;
+  int n = 0;
+  int work = 0;
+  double ms = 0.0;
+  double per_op_us = 0.0;
+};
+
+std::vector<JsonRow> g_rows;
+
+void record(Table& t, const std::string& scenario, int n, int work, double ms) {
+  double per_op_us = work > 0 ? 1000.0 * ms / work : 0.0;
+  char msbuf[32], opbuf[32];
+  std::snprintf(msbuf, sizeof msbuf, "%.2f", ms);
+  std::snprintf(opbuf, sizeof opbuf, "%.1f", per_op_us);
+  t.add(scenario, n, work, msbuf, opbuf);
+  g_rows.push_back({scenario, n, work, ms, per_op_us});
+}
+
+// Scenario A: break up a giant hub RT, one spoke deletion at a time. The
+// per-deletion cost must stay flat in n (dirty-region collection), where a
+// full-RT sweep would grow linearly.
+void rt_breakup(Table& t) {
+  for (int n : {1 << 12, 1 << 14, 1 << 16}) {
+    ForgivingGraph fg(make_star(n + 1));
+    fg.remove(0);
+    constexpr int kDeletions = 64;
+    for (NodeId v = 1; v <= 8; ++v) fg.remove(v);  // untimed warm-up
+    auto t0 = std::chrono::steady_clock::now();
+    for (NodeId v = 9; v <= 8 + kDeletions; ++v) fg.remove(v);
+    record(t, "rt_breakup", n, kDeletions, ms_since(t0));
+  }
+}
+
+// Scenario B: a wave of 64 random deletions on ER(n), sequential repairs vs
+// one batched repair round over the identical victim set.
+void wave(Table& t) {
+  constexpr int kWave = 64;
+  for (int n : {1024, 4096}) {
+    for (bool batched : {false, true}) {
+      Rng rng(11);
+      Graph g0 = make_erdos_renyi(n, 8.0 / n, rng);
+      ForgivingGraph fg(g0);
+      auto order = g0.alive_nodes();
+      rng.shuffle(order);
+      order.resize(kWave);
+      auto t0 = std::chrono::steady_clock::now();
+      if (batched) {
+        fg.delete_batch(order);
+      } else {
+        for (NodeId v : order) fg.remove(v);
+      }
+      record(t, batched ? "wave_batched" : "wave_sequential", n, kWave, ms_since(t0));
+    }
+  }
+}
+
+// Scenario C: the same wave through the distributed protocol — the saving
+// is messages and rounds, the quantities Lemma 4 is about.
+void dist_wave(Table& t, Table& cost) {
+  constexpr int kWave = 32;
+  for (int n : {1024}) {
+    for (bool batched : {false, true}) {
+      Rng rng(13);
+      Graph g0 = make_erdos_renyi(n, 8.0 / n, rng);
+      dist::DistForgivingGraph net(g0);
+      auto order = g0.alive_nodes();
+      rng.shuffle(order);
+      order.resize(kWave);
+      int64_t messages = 0;
+      int64_t rounds = 0;
+      auto t0 = std::chrono::steady_clock::now();
+      if (batched) {
+        net.delete_batch(order);
+        messages = net.last_repair_cost().messages;
+        rounds = net.last_repair_cost().rounds;
+      } else {
+        for (NodeId v : order) {
+          net.remove(v);
+          messages += net.last_repair_cost().messages;
+          rounds += net.last_repair_cost().rounds;
+        }
+      }
+      const char* name = batched ? "dist_wave_batched" : "dist_wave_sequential";
+      record(t, name, n, kWave, ms_since(t0));
+      cost.add(name, n, kWave, std::to_string(messages), std::to_string(rounds));
+      g_rows.push_back({std::string(name) + "_messages", n, kWave,
+                        static_cast<double>(messages), 0.0});
+      g_rows.push_back({std::string(name) + "_rounds", n, kWave,
+                        static_cast<double>(rounds), 0.0});
+    }
+  }
+}
+
+void write_json(const std::string& path) {
+  std::ofstream os(path);
+  os << "{\n  \"bench\": \"repair_path\",\n  \"rows\": [\n";
+  for (size_t i = 0; i < g_rows.size(); ++i) {
+    const JsonRow& r = g_rows[i];
+    os << "    {\"scenario\": \"" << r.scenario << "\", \"n\": " << r.n
+       << ", \"work\": " << r.work << ", \"value\": " << r.ms
+       << ", \"per_op_us\": " << r.per_op_us << "}"
+       << (i + 1 < g_rows.size() ? "," : "") << "\n";
+  }
+  os << "  ]\n}\n";
+}
+
+}  // namespace
+}  // namespace fg
+
+int main() {
+  using namespace fg;
+  std::cout << "--- R1: repair-path hot loop (iterative dirty-region collection"
+               " + batched deletions) ---\n\n";
+  Table t{"scenario", "n", "ops", "total ms", "us/op"};
+  Table cost{"scenario", "n", "victims", "messages", "rounds"};
+  rt_breakup(t);
+  wave(t);
+  dist_wave(t, cost);
+  t.print(std::cout);
+  std::cout << "\nprotocol cost (one DAG for the whole wave vs one per victim):\n";
+  cost.print(std::cout);
+  write_json("BENCH_repair_path.json");
+  std::cout << "\nwrote BENCH_repair_path.json\n";
+  return 0;
+}

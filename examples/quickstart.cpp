@@ -28,7 +28,14 @@ int main() {
   //    neighbors, simulated by surviving processors.
   network.remove(0);
   network.remove(4);
-  std::cout << "deleted processors 0 and 4\n\n";
+  std::cout << "deleted processors 0 and 4\n";
+
+  // 3b. Correlated failures can be healed in one repair round: a batch of
+  //     victims dies simultaneously and a single merged plan rebuilds one
+  //     Reconstruction Tree over all the debris.
+  std::vector<NodeId> wave{1, 5};
+  network.delete_batch(wave);
+  std::cout << "batch-deleted processors 1 and 5 in one repair round\n\n";
 
   // 4. The healed network G is still connected...
   const Graph& g = network.healed();

@@ -1,0 +1,84 @@
+#!/usr/bin/env python3
+"""Docs consistency gate (run by the CI docs job and locally).
+
+1. Every intra-repo markdown link in README.md, ROADMAP.md, CHANGES.md and
+   docs/*.md must resolve to an existing file (anchors are stripped;
+   external http(s)/mailto links are ignored).
+2. The quickstart snippet embedded in docs/API.md between the
+   `<!-- BEGIN quickstart.cpp -->` / `<!-- END quickstart.cpp -->` markers
+   must be byte-identical to examples/quickstart.cpp.
+
+Exits non-zero with a per-problem report on any violation.
+"""
+
+import re
+import sys
+from pathlib import Path
+
+REPO = Path(__file__).resolve().parent.parent
+
+LINK_RE = re.compile(r"\[[^\]]*\]\(([^)\s]+)\)")
+
+
+def markdown_files():
+    for name in ("README.md", "ROADMAP.md", "CHANGES.md"):
+        p = REPO / name
+        if p.exists():
+            yield p
+    yield from sorted((REPO / "docs").glob("*.md"))
+
+
+def check_links():
+    problems = []
+    for md in markdown_files():
+        in_fence = False
+        for lineno, line in enumerate(md.read_text().splitlines(), 1):
+            if line.lstrip().startswith("```"):
+                in_fence = not in_fence
+                continue
+            if in_fence:  # code, not markdown: [&](NodeId x) is not a link
+                continue
+            for target in LINK_RE.findall(line):
+                if target.startswith(("http://", "https://", "mailto:")):
+                    continue
+                path = target.split("#", 1)[0]
+                if not path:  # pure in-page anchor
+                    continue
+                resolved = (md.parent / path).resolve()
+                if not resolved.exists():
+                    problems.append(
+                        f"{md.relative_to(REPO)}:{lineno}: broken link -> {target}")
+    return problems
+
+
+def check_quickstart_sync():
+    api = REPO / "docs" / "API.md"
+    example = REPO / "examples" / "quickstart.cpp"
+    text = api.read_text()
+    m = re.search(
+        r"<!-- BEGIN quickstart\.cpp -->\n```cpp\n(.*?)```\n<!-- END quickstart\.cpp -->",
+        text,
+        re.S,
+    )
+    if not m:
+        return [f"{api.relative_to(REPO)}: quickstart markers missing"]
+    if m.group(1) != example.read_text():
+        return [
+            f"{api.relative_to(REPO)}: embedded quickstart snippet differs from "
+            f"{example.relative_to(REPO)} — copy the file verbatim between the markers"
+        ]
+    return []
+
+
+def main():
+    problems = check_links() + check_quickstart_sync()
+    for p in problems:
+        print(p, file=sys.stderr)
+    if problems:
+        sys.exit(1)
+    print(f"docs OK: {sum(1 for _ in markdown_files())} markdown files, "
+          "links resolve, quickstart snippet in sync")
+
+
+if __name__ == "__main__":
+    main()

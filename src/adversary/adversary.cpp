@@ -35,13 +35,13 @@ NodeId argmax_alive(const Graph& g, Score&& score) {
 
 std::optional<Action> RandomDeleteAdversary::next(const Healer& h, Rng& rng) {
   if (h.healed().alive_count() <= floor_) return std::nullopt;
-  return Action{Action::Kind::kDelete, random_alive(h.healed(), rng), {}};
+  return Action{Action::Kind::kDelete, random_alive(h.healed(), rng), {}, {}};
 }
 
 std::optional<Action> MaxDegreeDeleteAdversary::next(const Healer& h, Rng&) {
   if (h.healed().alive_count() <= floor_) return std::nullopt;
   NodeId v = argmax_alive(h.healed(), [&](NodeId x) { return h.healed().degree(x); });
-  return Action{Action::Kind::kDelete, v, {}};
+  return Action{Action::Kind::kDelete, v, {}, {}};
 }
 
 std::optional<Action> HelperLoadAdversary::next(const Healer& h, Rng&) {
@@ -57,17 +57,28 @@ std::optional<Action> HelperLoadAdversary::next(const Healer& h, Rng&) {
   } else {
     v = argmax_alive(h.healed(), [&](NodeId x) { return h.healed().degree(x); });
   }
-  return Action{Action::Kind::kDelete, v, {}};
+  return Action{Action::Kind::kDelete, v, {}, {}};
 }
 
 std::optional<Action> ChurnAdversary::next(const Healer& h, Rng& rng) {
   bool del = h.healed().alive_count() > floor_ && rng.next_bool(p_delete_);
-  if (del) return Action{Action::Kind::kDelete, random_alive(h.healed(), rng), {}};
+  if (del) return Action{Action::Kind::kDelete, random_alive(h.healed(), rng), {}, {}};
   auto alive = h.healed().alive_nodes();
   int want = std::min<int>(degree_, static_cast<int>(alive.size()));
   rng.shuffle(alive);
   alive.resize(static_cast<size_t>(std::max(want, 1)));
-  return Action{Action::Kind::kInsert, kInvalidNode, std::move(alive)};
+  return Action{Action::Kind::kInsert, kInvalidNode, std::move(alive), {}};
+}
+
+std::optional<Action> BatchDeleteAdversary::next(const Healer& h, Rng& rng) {
+  if (h.healed().alive_count() <= floor_ + batch_) return std::nullopt;
+  auto alive = h.healed().alive_nodes();
+  rng.shuffle(alive);
+  alive.resize(static_cast<size_t>(batch_));
+  Action a;
+  a.kind = Action::Kind::kBatchDelete;
+  a.targets = std::move(alive);
+  return a;
 }
 
 std::optional<Action> CutVertexAdversary::next(const Healer& h, Rng&) {
@@ -81,16 +92,16 @@ std::optional<Action> CutVertexAdversary::next(const Healer& h, Rng&) {
     Graph probe = g;
     probe.remove_node(v);
     if (connected_components(probe) > base_components)
-      return Action{Action::Kind::kDelete, v, {}};
+      return Action{Action::Kind::kDelete, v, {}, {}};
   }
   NodeId fallback = argmax_alive(g, [&](NodeId x) { return g.degree(x); });
-  return Action{Action::Kind::kDelete, fallback, {}};
+  return Action{Action::Kind::kDelete, fallback, {}, {}};
 }
 
 std::optional<Action> StarAttackAdversary::next(const Healer& h, Rng&) {
   if (done_ || !h.healed().is_alive(0)) return std::nullopt;
   done_ = true;
-  return Action{Action::Kind::kDelete, 0, {}};
+  return Action{Action::Kind::kDelete, 0, {}, {}};
 }
 
 std::optional<Action> BuildAndBurnAdversary::next(const Healer& h, Rng& rng) {
@@ -101,9 +112,9 @@ std::optional<Action> BuildAndBurnAdversary::next(const Healer& h, Rng& rng) {
     alive.resize(static_cast<size_t>(std::max(want, 1)));
     // Remember which id the insertion will get: ids are consecutive.
     pending_ = static_cast<NodeId>(h.healed().node_capacity());
-    return Action{Action::Kind::kInsert, kInvalidNode, std::move(alive)};
+    return Action{Action::Kind::kInsert, kInvalidNode, std::move(alive), {}};
   }
-  Action a{Action::Kind::kDelete, pending_, {}};
+  Action a{Action::Kind::kDelete, pending_, {}, {}};
   pending_ = kInvalidNode;
   return a;
 }
@@ -118,6 +129,8 @@ std::unique_ptr<Adversary> make_adversary(const std::string& name) {
     return std::make_unique<ChurnAdversary>(std::stod(name.substr(6)), 3);
   if (name.rfind("build-and-burn:", 0) == 0)
     return std::make_unique<BuildAndBurnAdversary>(std::stoi(name.substr(15)));
+  if (name.rfind("batch:", 0) == 0)
+    return std::make_unique<BatchDeleteAdversary>(std::stoi(name.substr(6)));
   FG_CHECK_MSG(false, "unknown adversary name");
   return nullptr;
 }

@@ -18,10 +18,11 @@ namespace fg {
 
 /// One adversarial step.
 struct Action {
-  enum class Kind { kInsert, kDelete };
+  enum class Kind { kInsert, kDelete, kBatchDelete };
   Kind kind = Kind::kDelete;
-  NodeId target = kInvalidNode;    ///< For deletions.
+  NodeId target = kInvalidNode;    ///< For single deletions.
   std::vector<NodeId> neighbors;   ///< For insertions.
+  std::vector<NodeId> targets;     ///< For batched deletions (distinct, alive).
 };
 
 /// Strategy interface: decide the next attack given full knowledge.
@@ -85,6 +86,21 @@ class ChurnAdversary final : public Adversary {
   int floor_;
 };
 
+/// Deletes a wave of `batch` uniformly random alive nodes per step, all
+/// simultaneously — the correlated-failure model (rack loss, partition)
+/// batched repairs exist for. Stops when ≤ floor + batch nodes remain.
+class BatchDeleteAdversary final : public Adversary {
+ public:
+  explicit BatchDeleteAdversary(int batch, int floor = 2)
+      : batch_(batch), floor_(floor) {}
+  std::optional<Action> next(const Healer& h, Rng& rng) override;
+  std::string name() const override { return "batch-delete"; }
+
+ private:
+  int batch_;
+  int floor_;
+};
+
 /// Deletes a cut vertex of the healed network whenever one exists (the
 /// deletion that would disconnect a non-self-healing network), falling back
 /// to max degree: the omniscient adversary hunting for weak points.
@@ -122,7 +138,7 @@ class BuildAndBurnAdversary final : public Adversary {
 };
 
 /// Factory: "random-delete", "maxdeg-delete", "helper-load", "churn:<p>",
-/// "star-attack", "build-and-burn:<fanout>".
+/// "star-attack", "build-and-burn:<fanout>", "batch:<k>".
 std::unique_ptr<Adversary> make_adversary(const std::string& name);
 
 }  // namespace fg

@@ -1,0 +1,465 @@
+#include "fg/core/structural_core.h"
+
+#include <algorithm>
+#include <istream>
+#include <ostream>
+#include <sstream>
+
+#include "util/check.h"
+
+namespace fg::core {
+
+StructuralCore::StructuralCore(const Graph& g0) : gprime_(g0), g_(g0) {
+  procs_.resize(static_cast<size_t>(g0.node_capacity()));
+  for (NodeId v = 0; v < g0.node_capacity(); ++v) {
+    FG_CHECK_MSG(g0.is_alive(v), "initial graph must have no tombstones");
+    for (NodeId w : g0.neighbors(v))
+      if (v < w) ++image_multiplicity_[edge_key(v, w)];
+  }
+}
+
+uint64_t StructuralCore::edge_key(NodeId u, NodeId v) {
+  if (u > v) std::swap(u, v);
+  return slot_key(u, v);
+}
+
+void StructuralCore::add_image_edge(NodeId u, NodeId v) {
+  if (u == v) return;  // homomorphism collapses same-processor virtual edges
+  int& m = image_multiplicity_[edge_key(u, v)];
+  if (++m == 1) g_.add_edge(u, v);
+}
+
+void StructuralCore::remove_image_edge(NodeId u, NodeId v) {
+  if (u == v) return;
+  auto it = image_multiplicity_.find(edge_key(u, v));
+  FG_CHECK_MSG(it != image_multiplicity_.end() && it->second > 0,
+               "removing an image edge that is not present");
+  if (--it->second == 0) {
+    image_multiplicity_.erase(it);
+    g_.remove_edge(u, v);
+  }
+}
+
+NodeId StructuralCore::insert_node(std::span<const NodeId> neighbors) {
+  NodeId id = gprime_.add_node();
+  NodeId id2 = g_.add_node();
+  FG_CHECK(id == id2);
+  procs_.emplace_back();
+  std::unordered_set<NodeId> seen;
+  for (NodeId y : neighbors) {
+    FG_CHECK_MSG(g_.is_alive(y), "insertion neighbor must be alive");
+    FG_CHECK_MSG(seen.insert(y).second, "duplicate insertion neighbor");
+    gprime_.add_edge(id, y);
+    add_image_edge(id, y);
+  }
+  return id;
+}
+
+std::vector<VNodeId> StructuralCore::begin_deletion(
+    std::span<const NodeId> victims, RepairObserver* observer) {
+  last_repair_ = RepairStats{};
+  FG_CHECK_MSG(!victims.empty(), "empty deletion batch");
+  std::unordered_set<NodeId> victim_set;
+  victim_set.reserve(victims.size());
+  for (NodeId v : victims) {
+    FG_CHECK_MSG(g_.is_alive(v), "deleting a dead or unknown processor");
+    FG_CHECK_MSG(victim_set.insert(v).second, "duplicate victim in batch");
+    last_repair_.deleted_degree_gprime += gprime_.degree(v);
+  }
+
+  // 1. The virtual nodes of the deleted processors: one real node per edge
+  //    to an already-deleted neighbor, plus every helper they simulate.
+  //    (A victim never has a slot keyed by another victim: slots only exist
+  //    for neighbors that were already dead before this repair.)
+  std::vector<VNodeId> dead_vnodes;
+  for (NodeId v : victims) {
+    for (const auto& [other, slot] : procs_[static_cast<size_t>(v)].slots) {
+      if (slot.leaf != kNoVNode) dead_vnodes.push_back(slot.leaf);
+      if (slot.helper != kNoVNode) dead_vnodes.push_back(slot.helper);
+    }
+  }
+
+  // 2. The RTs broken by this repair. Large batches can break thousands of
+  // RTs, so dedup must not be linear per vnode.
+  std::vector<VNodeId> roots;
+  for (VNodeId h : dead_vnodes) roots.push_back(forest_.root_of(h));
+  std::sort(roots.begin(), roots.end());
+  roots.erase(std::unique(roots.begin(), roots.end()), roots.end());
+  last_repair_.affected_rts = static_cast<int>(roots.size());
+
+  // Membership is only ever tested on dirty nodes, so a set of the dead
+  // vnodes keeps the repair O(dirty region), not O(forest arena).
+  std::unordered_set<VNodeId> is_dead(dead_vnodes.begin(), dead_vnodes.end());
+
+  // The dirty region: the dead vnodes and all their ancestors. A node is
+  // clean — its subtree contains no dead vnode — iff it is not dirty, so
+  // marking the ancestor chains (stopping at the first already-marked node)
+  // replaces the full-subtree clean() sweep with O(dead * depth) work.
+  std::unordered_set<VNodeId> dirty;
+  for (VNodeId h : dead_vnodes) {
+    VNodeId x = h;
+    while (x != kNoVNode && dirty.insert(x).second) x = forest_.node(x).parent;
+  }
+
+  // 3. Break each affected RT into its maximal clean perfect subtrees,
+  //    discarding dead and red nodes (the Strip of Section 4.1.1 and its
+  //    fragment variant of Figure 4).
+  std::vector<VNodeId> pieces;
+  for (VNodeId r : roots) collect_pieces(r, is_dead, dirty, observer, &pieces);
+
+  // 4. Surviving direct neighbors lose their edge to the victim and
+  //    contribute a fresh real node (a trivial one-node RT) for the edge
+  //    slot (y, v). An edge between two victims loses its image edge but
+  //    spawns no real node: both endpoints die, so nobody survives to
+  //    simulate one (exactly the state sequential deletions converge to).
+  for (NodeId v : victims) {
+    for (NodeId y : gprime_.neighbors(v)) {
+      if (!g_.is_alive(y)) continue;
+      if (victim_set.contains(y)) {
+        if (v < y) remove_image_edge(v, y);
+        continue;
+      }
+      remove_image_edge(v, y);
+      VNodeId leaf = forest_.make_leaf(y, v);
+      Slot& s = procs_[static_cast<size_t>(y)].slots[v];
+      FG_CHECK(s.leaf == kNoVNode && s.helper == kNoVNode);
+      s.leaf = leaf;
+      if (observer) observer->on_piece(leaf, y, kInvalidNode);
+      pieces.push_back(leaf);
+      ++last_repair_.new_leaves;
+    }
+  }
+
+  // 5. The processors themselves die. All of their image edges must be gone.
+  for (NodeId v : victims) {
+    procs_[static_cast<size_t>(v)].alive = false;
+    procs_[static_cast<size_t>(v)].slots.clear();
+    FG_CHECK_MSG(g_.degree(v) == 0, "image bookkeeping left edges on a deleted node");
+    g_.remove_node(v);
+  }
+
+  // 6. The caller merges everything into the single new RT (Section 4.1.2).
+  last_repair_.pieces = static_cast<int>(pieces.size());
+  return pieces;
+}
+
+void StructuralCore::collect_pieces(VNodeId root,
+                                    const std::unordered_set<VNodeId>& is_dead_vnode,
+                                    const std::unordered_set<VNodeId>& dirty,
+                                    RepairObserver* observer,
+                                    std::vector<VNodeId>* out) {
+  auto dead = [&](VNodeId h) { return is_dead_vnode.contains(h); };
+  auto parent_owner_of = [&](VNodeId h) {
+    VNodeId p = forest_.node(h).parent;
+    return p == kNoVNode ? kInvalidNode : forest_.node(p).owner;
+  };
+  FG_CHECK_MSG(dirty.contains(root), "collecting from an unbroken RT");
+
+  // Explicit worklist, left child before right child before the node itself
+  // — the same order as the natural recursion, so the piece sequence (and
+  // any observer's message sequence) is unchanged. Only dirty nodes and the
+  // right spines of their clean children are ever visited: a clean perfect
+  // subtree detaches at first touch, in O(1), without being entered.
+  struct Frame {
+    VNodeId h;
+    VNodeId left = kNoVNode;
+    VNodeId right = kNoVNode;
+    int stage = 0;
+  };
+  std::vector<Frame> stack;
+  stack.push_back({root});
+  while (!stack.empty()) {
+    Frame& f = stack.back();
+    if (f.stage == 0) {
+      if (!dirty.contains(f.h) && forest_.is_perfect(f.h)) {
+        // Maximal clean perfect subtree: detach it whole as the next piece.
+        if (observer)
+          observer->on_piece(f.h, forest_.node(f.h).owner, parent_owner_of(f.h));
+        detach_vnode(f.h);
+        out->push_back(f.h);
+        stack.pop_back();
+        continue;
+      }
+      // Dead, red, or clean-but-imperfect: decompose. Capture the child
+      // links now — removal below clears them.
+      const auto& n = forest_.node(f.h);
+      f.left = n.left;
+      f.right = n.right;
+      f.stage = 1;
+      if (f.left != kNoVNode) stack.push_back({f.left});
+    } else if (f.stage == 1) {
+      f.stage = 2;
+      if (f.right != kNoVNode) stack.push_back({f.right});
+    } else {
+      if (observer)
+        observer->on_teardown(f.h, forest_.node(f.h).owner, parent_owner_of(f.h));
+      if (!dead(f.h)) ++last_repair_.helpers_removed;  // red helper
+      remove_vnode(f.h);
+      stack.pop_back();
+    }
+  }
+}
+
+void StructuralCore::detach_vnode(VNodeId h) {
+  const auto& n = forest_.node(h);
+  if (n.parent == kNoVNode) return;
+  remove_image_edge(n.owner, forest_.node(n.parent).owner);
+  forest_.unlink_from_parent(h);
+}
+
+void StructuralCore::remove_vnode(VNodeId h) {
+  const auto& n = forest_.node(h);
+  NodeId owner = n.owner;
+  NodeId other = n.other;
+  bool leaf = n.is_leaf;
+  detach_vnode(h);
+  forest_.remove(h);
+  auto& proc = procs_[static_cast<size_t>(owner)];
+  if (!proc.alive) return;  // a victim's slots are wiped wholesale
+  auto it = proc.slots.find(other);
+  FG_CHECK(it != proc.slots.end());
+  if (leaf) {
+    FG_CHECK(it->second.leaf == h);
+    it->second.leaf = kNoVNode;
+  } else {
+    FG_CHECK(it->second.helper == h);
+    it->second.helper = kNoVNode;
+  }
+  if (it->second.leaf == kNoVNode && it->second.helper == kNoVNode) proc.slots.erase(it);
+}
+
+haft::PieceInfo StructuralCore::piece_info(VNodeId root) const {
+  const auto& n = forest_.node(root);
+  FG_CHECK(forest_.is_perfect(root));
+  const auto& rep = forest_.node(n.rep);
+  return {n.leaf_count, slot_key(rep.owner, rep.other)};
+}
+
+VNodeId StructuralCore::join_pieces(VNodeId left, VNodeId right) {
+  // Representative mechanism (Algorithm A.9): the left tree's representative
+  // simulates the new helper; the merged root inherits the right tree's
+  // representative. (Copy fields before make_helper: it may grow the arena.)
+  const auto& rep = forest_.node(forest_.node(left).rep);
+  NodeId rep_owner = rep.owner;
+  NodeId rep_other = rep.other;
+  NodeId left_owner = forest_.node(left).owner;
+  NodeId right_owner = forest_.node(right).owner;
+  VNodeId h = forest_.make_helper(rep_owner, rep_other, left, right);
+  Slot& s = procs_[static_cast<size_t>(rep_owner)].slots[rep_other];
+  FG_CHECK_MSG(s.helper == kNoVNode, "representative already simulates a helper");
+  s.helper = h;
+  add_image_edge(rep_owner, left_owner);
+  add_image_edge(rep_owner, right_owner);
+  ++last_repair_.helpers_created;
+  return h;
+}
+
+void StructuralCore::finish_repair(VNodeId final_root) {
+  last_repair_.final_rt_leaves = forest_.node(final_root).leaf_count;
+}
+
+VNodeId StructuralCore::merge_pieces(std::vector<VNodeId> pieces) {
+  FG_CHECK(!pieces.empty());
+  if (pieces.size() == 1) {
+    finish_repair(pieces.front());
+    return pieces.front();
+  }
+  std::vector<haft::PieceInfo> infos;
+  infos.reserve(pieces.size());
+  for (VNodeId h : pieces) infos.push_back(piece_info(h));
+  auto plan = haft::merge_plan(std::move(infos));
+  for (const auto& step : plan) {
+    VNodeId l = pieces[static_cast<size_t>(step.left)];
+    VNodeId r = pieces[static_cast<size_t>(step.right)];
+    VNodeId h = join_pieces(l, r);
+    FG_CHECK(static_cast<int>(pieces.size()) == step.result);
+    pieces.push_back(h);
+  }
+  finish_repair(pieces.back());
+  return pieces.back();
+}
+
+int StructuralCore::helper_count(NodeId v) const {
+  FG_CHECK(v >= 0 && static_cast<size_t>(v) < procs_.size());
+  int count = 0;
+  for (const auto& [other, slot] : procs_[static_cast<size_t>(v)].slots)
+    if (slot.helper != kNoVNode) ++count;
+  return count;
+}
+
+void StructuralCore::save(std::ostream& os) const {
+  os << "FGv1\n";
+  os << "capacity " << gprime_.node_capacity() << '\n';
+  os << "dead";
+  for (NodeId v = 0; v < gprime_.node_capacity(); ++v)
+    if (!g_.is_alive(v)) os << ' ' << v;
+  os << '\n';
+  os << "edges " << gprime_.edge_count() << '\n';
+  for (NodeId v = 0; v < gprime_.node_capacity(); ++v)
+    for (NodeId w : gprime_.neighbors(v))
+      if (v < w) os << v << ' ' << w << '\n';
+  const auto& arena = forest_.dump();
+  os << "vnodes " << arena.size() << '\n';
+  for (const auto& n : arena)
+    os << n.alive << ' ' << n.is_leaf << ' ' << n.owner << ' ' << n.other << ' '
+       << n.parent << ' ' << n.left << ' ' << n.right << ' ' << n.height << ' '
+       << n.leaf_count << ' ' << n.rep << '\n';
+  os << "end\n";
+}
+
+StructuralCore StructuralCore::load(std::istream& is) {
+  auto expect = [&is](const char* token) {
+    std::string word;
+    FG_CHECK_MSG(static_cast<bool>(is >> word) && word == token, "malformed checkpoint");
+  };
+
+  StructuralCore core;
+  expect("FGv1");
+  expect("capacity");
+  int capacity = 0;
+  FG_CHECK(static_cast<bool>(is >> capacity) && capacity >= 0);
+  for (int i = 0; i < capacity; ++i) {
+    core.gprime_.add_node();
+    core.g_.add_node();
+  }
+  core.procs_.resize(static_cast<size_t>(capacity));
+
+  expect("dead");
+  {
+    std::string rest;
+    std::getline(is, rest);
+    std::istringstream ls(rest);
+    NodeId v;
+    while (ls >> v) {
+      core.g_.remove_node(v);
+      core.procs_[static_cast<size_t>(v)].alive = false;
+    }
+  }
+
+  expect("edges");
+  int64_t edges = 0;
+  FG_CHECK(static_cast<bool>(is >> edges) && edges >= 0);
+  for (int64_t i = 0; i < edges; ++i) {
+    NodeId u = kInvalidNode, w = kInvalidNode;
+    FG_CHECK(static_cast<bool>(is >> u >> w));
+    core.gprime_.add_edge(u, w);
+    if (core.g_.is_alive(u) && core.g_.is_alive(w)) {
+      ++core.image_multiplicity_[edge_key(u, w)];
+      core.g_.add_edge(u, w);
+    }
+  }
+
+  expect("vnodes");
+  size_t arena_size = 0;
+  FG_CHECK(static_cast<bool>(is >> arena_size));
+  std::vector<VirtualForest::VNode> arena(arena_size);
+  for (auto& n : arena) {
+    FG_CHECK(static_cast<bool>(is >> n.alive >> n.is_leaf >> n.owner >> n.other >>
+                               n.parent >> n.left >> n.right >> n.height >> n.leaf_count >>
+                               n.rep));
+  }
+  expect("end");
+  core.forest_ = VirtualForest::from_dump(std::move(arena));
+
+  // Rebuild the derived state: slot table and the virtual part of the image.
+  const auto& nodes = core.forest_.dump();
+  for (VNodeId h = 0; h < static_cast<VNodeId>(nodes.size()); ++h) {
+    const auto& n = nodes[static_cast<size_t>(h)];
+    if (!n.alive) continue;
+    Slot& s = core.procs_[static_cast<size_t>(n.owner)].slots[n.other];
+    if (n.is_leaf) {
+      FG_CHECK(s.leaf == kNoVNode);
+      s.leaf = h;
+    } else {
+      FG_CHECK(s.helper == kNoVNode);
+      s.helper = h;
+    }
+    if (n.parent != kNoVNode) core.add_image_edge(n.owner, nodes[static_cast<size_t>(n.parent)].owner);
+  }
+  return core;
+}
+
+void StructuralCore::validate() const {
+  // --- I1: slot consistency.
+  for (NodeId u = 0; u < static_cast<NodeId>(procs_.size()); ++u) {
+    const Proc& p = procs_[static_cast<size_t>(u)];
+    FG_CHECK(p.alive == g_.is_alive(u));
+    if (!p.alive) {
+      FG_CHECK(p.slots.empty());
+      continue;
+    }
+    for (const auto& [other, slot] : p.slots) {
+      FG_CHECK_MSG(gprime_.has_edge(u, other), "slot without a G' edge");
+      FG_CHECK_MSG(!g_.is_alive(other), "slot for an alive neighbor");
+      FG_CHECK(slot.leaf != kNoVNode);  // helper implies leaf, leaf tracks dead edge
+      const auto& leaf = forest_.node(slot.leaf);
+      FG_CHECK(leaf.is_leaf && leaf.owner == u && leaf.other == other);
+      if (slot.helper != kNoVNode) {
+        const auto& h = forest_.node(slot.helper);
+        FG_CHECK(!h.is_leaf && h.owner == u && h.other == other);
+        // I4 (Lemma 3 corollary): the helper is an ancestor of its leaf.
+        FG_CHECK_MSG(forest_.is_ancestor(slot.helper, slot.leaf),
+                     "helper is not an ancestor of its real node");
+      }
+    }
+    // Every dead G' neighbor must have a leaf slot.
+    for (NodeId w : gprime_.neighbors(u))
+      if (!g_.is_alive(w)) FG_CHECK_MSG(p.slots.contains(w), "missing real node for dead edge");
+  }
+
+  // --- I2 + I3: forest structure, haft property, representative invariant.
+  std::unordered_set<VNodeId> seen_roots;
+  for (NodeId u = 0; u < static_cast<NodeId>(procs_.size()); ++u) {
+    for (const auto& [other, slot] : procs_[static_cast<size_t>(u)].slots) {
+      for (VNodeId h : {slot.leaf, slot.helper}) {
+        if (h == kNoVNode) continue;
+        VNodeId r = forest_.root_of(h);
+        if (!seen_roots.insert(r).second) continue;
+        FG_CHECK_MSG(forest_.valid_haft(r), "RT is not a haft");
+        // Representative invariant on every internal node of the RT.
+        for (VNodeId x : forest_.subtree_of(r)) {
+          const auto& n = forest_.node(x);
+          if (n.is_leaf) continue;
+          int free_leaves = 0;
+          VNodeId free_leaf = kNoVNode;
+          for (VNodeId leaf : forest_.leaves_of(x)) {
+            const auto& ln = forest_.node(leaf);
+            auto it = procs_[static_cast<size_t>(ln.owner)].slots.find(ln.other);
+            FG_CHECK(it != procs_[static_cast<size_t>(ln.owner)].slots.end());
+            VNodeId helper = it->second.helper;
+            bool has_helper_inside = helper != kNoVNode && forest_.is_ancestor(x, helper);
+            if (!has_helper_inside) {
+              ++free_leaves;
+              free_leaf = leaf;
+            }
+          }
+          FG_CHECK_MSG(free_leaves == 1, "representative invariant violated (count)");
+          FG_CHECK_MSG(free_leaf == n.rep, "representative invariant violated (identity)");
+        }
+      }
+    }
+  }
+
+  // --- I5: the image graph equals a from-scratch rebuild.
+  Graph rebuilt;
+  for (NodeId u = 0; u < g_.node_capacity(); ++u) rebuilt.add_node();
+  for (NodeId u = 0; u < g_.node_capacity(); ++u)
+    if (!g_.is_alive(u)) rebuilt.remove_node(u);
+  for (NodeId u = 0; u < gprime_.node_capacity(); ++u) {
+    if (!g_.is_alive(u)) continue;
+    for (NodeId w : gprime_.neighbors(u))
+      if (u < w && g_.is_alive(w)) rebuilt.add_edge(u, w);
+  }
+  for (VNodeId r : seen_roots) {
+    for (VNodeId x : forest_.subtree_of(r)) {
+      const auto& n = forest_.node(x);
+      if (n.parent == kNoVNode) continue;
+      NodeId a = n.owner;
+      NodeId b = forest_.node(n.parent).owner;
+      if (a != b && !rebuilt.has_edge(a, b)) rebuilt.add_edge(a, b);
+    }
+  }
+  FG_CHECK_MSG(g_.same_topology(rebuilt), "image graph diverged from rebuild");
+}
+
+}  // namespace fg::core

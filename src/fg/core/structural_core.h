@@ -1,0 +1,199 @@
+// The shared structural core of the Forgiving Graph (Sections 3-4).
+//
+// Both execution engines — the centralized reference implementation
+// (fg::ForgivingGraph) and the distributed protocol
+// (fg::dist::DistForgivingGraph) — drive this single mutation path. The
+// core owns all structural state and performs every container mutation:
+//
+//   * G'  — the graph of all insertions, with no deletions applied;
+//   * G   — the healed network: the homomorphic image of G' minus deleted
+//           processors plus the virtual forest (maintained incrementally
+//           through an edge-multiplicity map);
+//   * the virtual forest of Reconstruction Trees and the per-processor
+//     slot table (Table 1 of the paper).
+//
+// The centralized engine applies mutations directly; the distributed engine
+// installs a RepairObserver to mirror each cross-processor structural change
+// into its message-dependency DAG. Because there is exactly one code path,
+// the piece sequence — and therefore the deterministic haft::merge_plan and
+// the healed topology — cannot drift between the engines (docs/DESIGN.md
+// invariant 6).
+//
+// A deletion (or a batch of deletions — see begin_deletion) decomposes into
+// the paper's phases:
+//
+//   1. begin_deletion: locate the victims' virtual nodes, break every
+//      affected RT into its maximal clean perfect subtrees ("pieces", the
+//      Strip of Section 4.1.1), spawn one fresh real node per surviving
+//      direct neighbor, and tombstone the victims. Piece collection walks an
+//      explicit iterative worklist over the *dirty* region (ancestors of the
+//      victims' virtual nodes) only, so its cost is O(d log^2 n), not
+//      O(RT size), and no call stack depth depends on the input.
+//   2. merge: reassemble the pieces into one RT. The centralized engine
+//      calls merge_pieces (the full deterministic ComputeHaft plan); the
+//      distributed engine computes its mode's plan itself and applies each
+//      join through join_pieces.
+//
+// Invariants maintained after every insert_node/begin_deletion+merge
+// (checked by validate(); numbering follows docs/DESIGN.md):
+//   I1. Slot consistency: processor u has a slot keyed by w iff (u, w) is a
+//       G' edge whose far endpoint w is dead; the slot always holds the real
+//       (leaf) node of that edge and at most one helper.
+//   I2. Every Reconstruction Tree in the virtual forest is a haft over the
+//       real nodes of its dead edge slots (Lemma 1 bounds its depth by
+//       ceil(log2 leaves)).
+//   I3. Representative: every internal RT node's `rep` is the unique leaf of
+//       its subtree whose slot simulates no helper inside that subtree.
+//   I4. Each helper is an ancestor of its own slot's leaf (Lemma 3).
+//   I5. G is exactly the homomorphic image: G' minus dead processors, plus
+//       one edge per virtual tree edge whose endpoints have distinct owners.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <span>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "fg/virtual_forest.h"
+#include "graph/graph.h"
+#include "haft/haft.h"
+
+namespace fg::core {
+
+/// Structural statistics of the most recent repair (one deletion or one
+/// batch). Reset by begin_deletion; merge_pieces / join_pieces update the
+/// merge-side counters.
+struct RepairStats {
+  int affected_rts = 0;     ///< RTs broken by the deletion(s).
+  int pieces = 0;           ///< Perfect trees to merge (incl. new leaves).
+  int new_leaves = 0;       ///< Fresh real nodes (alive direct neighbors).
+  int helpers_created = 0;  ///< Helper nodes instantiated by the merge.
+  int helpers_removed = 0;  ///< "Red" helpers discarded by stripping.
+  int64_t final_rt_leaves = 0;  ///< Leaves of the resulting RT (0 if none).
+  int deleted_degree_gprime = 0;  ///< Total G' degree of the victims.
+};
+
+/// Hooks a protocol layer installs to mirror structural mutations. The
+/// distributed engine translates each callback into messages of its repair
+/// DAG; the centralized engine passes no observer. Callbacks fire *before*
+/// the corresponding mutation, in the deterministic left-to-right order of
+/// the repair walk, so the message sequence is itself deterministic.
+class RepairObserver {
+ public:
+  virtual ~RepairObserver() = default;
+
+  /// A maximal clean perfect subtree rooted at `root` (owned by `owner`) is
+  /// about to detach and become the next piece (pieces are reported in
+  /// their final order). `parent_owner` is the owner of its RT parent, or
+  /// kInvalidNode for roots and for fresh anchor leaves.
+  virtual void on_piece(VNodeId root, NodeId owner, NodeId parent_owner) {
+    (void)root, (void)owner, (void)parent_owner;
+  }
+
+  /// A dead or red virtual node owned by `owner` is about to be torn down.
+  /// `parent_owner` is the owner of its current RT parent (kInvalidNode at
+  /// roots); children have already been processed.
+  virtual void on_teardown(VNodeId h, NodeId owner, NodeId parent_owner) {
+    (void)h, (void)owner, (void)parent_owner;
+  }
+};
+
+/// The single structural mutation path both engines execute.
+class StructuralCore {
+ public:
+  /// Start from a connected network G0; ids 0..n-1 become live processors.
+  explicit StructuralCore(const Graph& g0);
+  StructuralCore() = default;  // empty core, populated by load()
+
+  /// Adversarial insertion: a new processor attached to `neighbors` (all
+  /// alive, no duplicates). Returns the new processor id.
+  NodeId insert_node(std::span<const NodeId> neighbors);
+
+  /// Phases 1-5 of a repair for a *batch* of simultaneous deletions (a
+  /// single victim is the span of one). Victims must be alive and distinct.
+  /// Breaks every affected RT, spawns anchor leaves on the victims'
+  /// surviving direct neighbors (edges between two victims spawn none —
+  /// both endpoints die), tombstones the victims, and returns the pieces in
+  /// deterministic order. The caller must reassemble them into one RT via
+  /// merge_pieces or a sequence of join_pieces calls.
+  std::vector<VNodeId> begin_deletion(std::span<const NodeId> victims,
+                                      RepairObserver* observer = nullptr);
+
+  /// Execute the global ComputeHaft plan over `pieces`, creating helpers
+  /// through the representative mechanism; returns the final root (or the
+  /// single piece). `pieces` must be non-empty.
+  VNodeId merge_pieces(std::vector<VNodeId> pieces);
+
+  /// One structural join of two piece roots (Algorithm A.9): the left
+  /// tree's representative simulates the new helper; the merged root
+  /// inherits the right tree's representative. Returns the new root.
+  VNodeId join_pieces(VNodeId left, VNodeId right);
+
+  /// Plan input for a piece root: leaf count plus the deterministic
+  /// representative slot key (the paper's NodeID tie-break).
+  haft::PieceInfo piece_info(VNodeId root) const;
+
+  /// Record the final RT of a repair in the stats (no-op structurally).
+  void finish_repair(VNodeId final_root);
+
+  const Graph& image() const { return g_; }
+  const Graph& gprime() const { return gprime_; }
+  const VirtualForest& forest() const { return forest_; }
+  bool is_alive(NodeId v) const { return g_.is_alive(v); }
+  const RepairStats& last_repair() const { return last_repair_; }
+
+  /// Number of helper nodes currently simulated by processor v.
+  int helper_count(NodeId v) const;
+
+  /// Checkpoint the complete structure (G', liveness, virtual forest) to a
+  /// line-oriented text stream; `load` restores an equivalent core. The
+  /// slot table and healed image are derived state, rebuilt on load.
+  void save(std::ostream& os) const;
+  static StructuralCore load(std::istream& is);
+
+  /// Full invariant check I1-I5 (expensive; used by tests).
+  void validate() const;
+
+ private:
+  struct Slot {
+    VNodeId leaf = kNoVNode;
+    VNodeId helper = kNoVNode;
+  };
+  struct Proc {
+    bool alive = true;
+    std::unordered_map<NodeId, Slot> slots;  // keyed by the other endpoint
+  };
+
+  static uint64_t edge_key(NodeId u, NodeId v);
+  void add_image_edge(NodeId u, NodeId v);
+  void remove_image_edge(NodeId u, NodeId v);
+
+  /// Drop the virtual edge between h and its parent from the image and
+  /// detach h (no-op on roots).
+  void detach_vnode(VNodeId h);
+
+  /// Tombstone h (children must be gone), freeing its slot registration and
+  /// its parent edge.
+  void remove_vnode(VNodeId h);
+
+  /// Break the RT rooted at `root`: remove the dead virtual nodes and all
+  /// "red" survivors, appending the maximal clean perfect subtrees
+  /// ("pieces") to `out`. Iterative worklist over the dirty region only;
+  /// `dirty` holds the dead vnodes and all their ancestors, so a node is
+  /// clean (subtree free of dead vnodes) iff it is not in `dirty`.
+  void collect_pieces(VNodeId root,
+                      const std::unordered_set<VNodeId>& is_dead_vnode,
+                      const std::unordered_set<VNodeId>& dirty,
+                      RepairObserver* observer, std::vector<VNodeId>* out);
+
+  Graph gprime_;
+  Graph g_;
+  VirtualForest forest_;
+  std::vector<Proc> procs_;
+  std::unordered_map<uint64_t, int> image_multiplicity_;
+  RepairStats last_repair_;
+};
+
+}  // namespace fg::core

@@ -2,54 +2,54 @@
 
 #include <algorithm>
 #include <any>
-#include <unordered_set>
 
 #include "util/check.h"
 
 namespace fg::dist {
 
-// The structural core below is a faithful fork of fg::ForgivingGraph: it
-// performs the same container mutations in the same order, so in kGlobalPlan
-// mode the piece order, the ComputeHaft plan, and therefore the healed
-// topology are bit-identical to the centralized engine (the invariant the
+// Every structural mutation below happens inside core::StructuralCore — the
+// same code path the centralized engine executes, so in kGlobalPlan mode the
+// piece order, the ComputeHaft plan, and therefore the healed topology are
+// bit-identical to fg::ForgivingGraph by construction (the invariant the
 // dist_equivalence and exhaustive_small suites pin down). What this file
-// adds is the protocol layer: every repair builds a dependency DAG of
-// messages mirroring the structural work and replays it through the
-// net::Network simulator, which is where all cost figures come from.
+// adds is the protocol layer: a DagRecorder observer mirrors each repair's
+// structural work into a dependency DAG of messages, which is replayed
+// through the net::Network simulator — where all cost figures come from.
+
+// Mirrors core repair callbacks into teardown/detach messages. The core
+// reports every cross-RT structural change before applying it, in
+// deterministic order, so the message sequence is deterministic too.
+class DistForgivingGraph::DagRecorder final : public core::RepairObserver {
+ public:
+  explicit DagRecorder(DistForgivingGraph* d) : d_(d) {}
+
+  /// detach_msg per piece, aligned with the core's piece order.
+  const std::vector<int>& detach_msgs() const { return detach_msgs_; }
+
+  void on_piece(VNodeId /*root*/, NodeId owner, NodeId parent_owner) override {
+    int msg = -1;
+    if (parent_owner != kInvalidNode && parent_owner != owner &&
+        !d_->deleting_.contains(parent_owner) && !d_->deleting_.contains(owner))
+      msg = d_->add_msg(parent_owner, owner, 2, {});  // "you are detached"
+    detach_msgs_.push_back(msg);
+  }
+
+  void on_teardown(VNodeId /*h*/, NodeId owner, NodeId parent_owner) override {
+    if (parent_owner != kInvalidNode && parent_owner != owner &&
+        !d_->deleting_.contains(owner) && !d_->deleting_.contains(parent_owner))
+      d_->add_msg(owner, parent_owner, 2, {});  // teardown notice to parent
+  }
+
+ private:
+  DistForgivingGraph* d_;
+  std::vector<int> detach_msgs_;
+};
 
 DistForgivingGraph::DistForgivingGraph(const Graph& g0, MergeMode mode)
-    : mode_(mode), gprime_(g0), g_(g0) {
-  procs_.resize(static_cast<size_t>(g0.node_capacity()));
-  for (NodeId v = 0; v < g0.node_capacity(); ++v) {
-    FG_CHECK_MSG(g0.is_alive(v), "initial graph must have no tombstones");
-    for (NodeId w : g0.neighbors(v))
-      if (v < w) ++image_multiplicity_[edge_key(v, w)];
-  }
+    : mode_(mode), core_(g0) {
   net_.set_handler([this](NodeId /*to*/, NodeId /*from*/, const std::any& payload) {
     on_delivered(std::any_cast<int>(payload));
   });
-}
-
-uint64_t DistForgivingGraph::edge_key(NodeId u, NodeId v) {
-  if (u > v) std::swap(u, v);
-  return slot_key(u, v);
-}
-
-void DistForgivingGraph::add_image_edge(NodeId u, NodeId v) {
-  if (u == v) return;  // homomorphism collapses same-processor virtual edges
-  int& m = image_multiplicity_[edge_key(u, v)];
-  if (++m == 1) g_.add_edge(u, v);
-}
-
-void DistForgivingGraph::remove_image_edge(NodeId u, NodeId v) {
-  if (u == v) return;
-  auto it = image_multiplicity_.find(edge_key(u, v));
-  FG_CHECK_MSG(it != image_multiplicity_.end() && it->second > 0,
-               "removing an image edge that is not present");
-  if (--it->second == 0) {
-    image_multiplicity_.erase(it);
-    g_.remove_edge(u, v);
-  }
 }
 
 // ---------------------------------------------------------------------------
@@ -102,18 +102,8 @@ NodeId DistForgivingGraph::insert(std::span<const NodeId> neighbors) {
   msgs_.clear();
   net_.stats().reset();
 
-  NodeId id = gprime_.add_node();
-  NodeId id2 = g_.add_node();
-  FG_CHECK(id == id2);
-  procs_.emplace_back();
-  std::unordered_set<NodeId> seen;
-  for (NodeId y : neighbors) {
-    FG_CHECK_MSG(g_.is_alive(y), "insertion neighbor must be alive");
-    FG_CHECK_MSG(seen.insert(y).second, "duplicate insertion neighbor");
-    gprime_.add_edge(id, y);
-    add_image_edge(id, y);
-    add_msg(id, y, 2, {});  // "I am your new neighbor"
-  }
+  NodeId id = core_.insert_node(neighbors);
+  for (NodeId y : neighbors) add_msg(id, y, 2, {});  // "I am your new neighbor"
   run_dag();
   const auto& s = net_.stats();
   lifetime_.messages += s.messages;
@@ -125,67 +115,31 @@ NodeId DistForgivingGraph::insert(std::span<const NodeId> neighbors) {
 // ---------------------------------------------------------------------------
 // Deletions.
 
-void DistForgivingGraph::remove(NodeId v) {
-  FG_CHECK_MSG(g_.is_alive(v), "deleting a dead or unknown processor");
+void DistForgivingGraph::delete_batch(std::span<const NodeId> victims) {
   msgs_.clear();
   report_msgs_.clear();
   know_.clear();
   coordinator_ = kInvalidNode;
-  deleting_ = v;
+  deleting_.clear();
+  deleting_.insert(victims.begin(), victims.end());
   net_.stats().reset();
   last_cost_ = RepairCost{};
-  last_cost_.deleted_degree = gprime_.degree(v);
 
-  // 1. The virtual nodes of the deleted processor.
-  std::vector<VNodeId> dead_vnodes;
-  for (const auto& [other, slot] : procs_[static_cast<size_t>(v)].slots) {
-    if (slot.leaf != kNoVNode) dead_vnodes.push_back(slot.leaf);
-    if (slot.helper != kNoVNode) dead_vnodes.push_back(slot.helper);
-  }
+  // Phases 1-5 run in the shared core; the recorder turns each structural
+  // change into the teardown/detach messages of the repair DAG.
+  DagRecorder recorder(this);
+  std::vector<VNodeId> roots = core_.begin_deletion(victims, &recorder);
+  const core::RepairStats& rs = core_.last_repair();
+  last_cost_.deleted_degree = rs.deleted_degree_gprime;
+  last_cost_.anchors = rs.new_leaves;
+  last_cost_.pieces = rs.pieces;
 
-  // 2. The RTs broken by this deletion.
-  std::vector<VNodeId> roots;
-  for (VNodeId h : dead_vnodes) {
-    VNodeId r = forest_.root_of(h);
-    if (std::find(roots.begin(), roots.end(), r) == roots.end()) roots.push_back(r);
-  }
-  std::sort(roots.begin(), roots.end());
-
-  std::vector<char> is_dead(dead_vnodes.empty()
-                                ? size_t{0}
-                                : static_cast<size_t>(
-                                      *std::max_element(dead_vnodes.begin(),
-                                                        dead_vnodes.end()) +
-                                      1),
-                            0);
-  for (VNodeId h : dead_vnodes) is_dead[static_cast<size_t>(h)] = 1;
-
-  // 3. Break each affected RT into its maximal clean perfect subtrees.
-  //    Teardown and detach notifications enter the DAG here.
+  FG_CHECK(recorder.detach_msgs().size() == roots.size());
   std::vector<PieceCtx> pieces;
-  for (VNodeId r : roots) collect_pieces(r, is_dead, &pieces);
+  pieces.reserve(roots.size());
+  for (size_t i = 0; i < roots.size(); ++i)
+    pieces.push_back(PieceCtx{roots[i], recorder.detach_msgs()[i]});
 
-  // 4. Alive direct neighbors (the anchors) lose their edge to v and
-  //    contribute a fresh real node each.
-  for (NodeId y : gprime_.neighbors(v)) {
-    if (!g_.is_alive(y)) continue;
-    remove_image_edge(v, y);
-    VNodeId leaf = forest_.make_leaf(y, v);
-    Slot& s = procs_[static_cast<size_t>(y)].slots[v];
-    FG_CHECK(s.leaf == kNoVNode && s.helper == kNoVNode);
-    s.leaf = leaf;
-    pieces.push_back(PieceCtx{leaf, -1});
-    ++last_cost_.anchors;
-  }
-
-  // 5. The processor itself dies.
-  procs_[static_cast<size_t>(v)].alive = false;
-  procs_[static_cast<size_t>(v)].slots.clear();
-  FG_CHECK_MSG(g_.degree(v) == 0, "image bookkeeping left edges on a deleted node");
-  g_.remove_node(v);
-
-  // 6. Merge everything into the single new RT.
-  last_cost_.pieces = static_cast<int>(pieces.size());
   std::vector<NodeId> participants;
   for (const PieceCtx& p : pieces) participants.push_back(piece_owner(p));
   std::sort(participants.begin(), participants.end());
@@ -194,6 +148,7 @@ void DistForgivingGraph::remove(NodeId v) {
   last_cost_.bt_edges =
       participants.empty() ? 0 : static_cast<int>(participants.size()) - 1;
 
+  // Phase 6: merge everything into the single new RT.
   if (!pieces.empty()) {
     if (mode_ == MergeMode::kGlobalPlan)
       merge_global(std::move(pieces), participants);
@@ -212,120 +167,7 @@ void DistForgivingGraph::remove(NodeId v) {
   lifetime_.messages += s.messages;
   lifetime_.words += s.words;
   lifetime_.rounds += s.rounds;
-  deleting_ = kInvalidNode;
-}
-
-void DistForgivingGraph::collect_pieces(VNodeId root,
-                                        const std::vector<char>& is_dead_vnode,
-                                        std::vector<PieceCtx>* out) {
-  auto dead = [&](VNodeId h) {
-    return h >= 0 && static_cast<size_t>(h) < is_dead_vnode.size() &&
-           is_dead_vnode[static_cast<size_t>(h)];
-  };
-
-  // Pass 1: clean(h) = subtree has no vnode of the deleted processor.
-  std::unordered_map<VNodeId, bool> clean;
-  auto mark_clean = [&](auto&& self, VNodeId h) -> bool {
-    const auto& n = forest_.node(h);
-    bool c = !dead(h);
-    if (!n.is_leaf) {
-      bool cl = self(self, n.left);
-      bool cr = self(self, n.right);
-      c = c && cl && cr;
-    }
-    clean[h] = c;
-    return c;
-  };
-  mark_clean(mark_clean, root);
-
-  // Pass 2: detach the maximal clean perfect subtrees; everything else is
-  // removed. Each cross-processor structural change is one O(1)-word
-  // notification; all are independent (detection-round state replication),
-  // so the teardown costs O(removed) messages in O(1) rounds.
-  auto collect = [&](auto&& self, VNodeId h) -> void {
-    if (clean[h] && forest_.is_perfect(h)) {
-      int detach = -1;
-      const auto& n = forest_.node(h);
-      if (n.parent != kNoVNode) {
-        NodeId po = forest_.node(n.parent).owner;
-        if (po != n.owner && po != deleting_ && n.owner != deleting_)
-          detach = add_msg(po, n.owner, 2, {});
-      }
-      detach_vnode(h);
-      out->push_back(PieceCtx{h, detach});
-      return;
-    }
-    const auto& n = forest_.node(h);
-    VNodeId l = n.left;
-    VNodeId r = n.right;
-    if (l != kNoVNode) self(self, l);
-    if (r != kNoVNode) self(self, r);
-    {
-      const auto& m = forest_.node(h);
-      if (m.parent != kNoVNode) {
-        NodeId po = forest_.node(m.parent).owner;
-        if (po != m.owner && m.owner != deleting_ && po != deleting_)
-          add_msg(m.owner, po, 2, {});  // teardown notice to the parent
-      }
-    }
-    remove_vnode(h);
-  };
-  collect(collect, root);
-}
-
-void DistForgivingGraph::detach_vnode(VNodeId h) {
-  const auto& n = forest_.node(h);
-  if (n.parent == kNoVNode) return;
-  remove_image_edge(n.owner, forest_.node(n.parent).owner);
-  forest_.unlink_from_parent(h);
-}
-
-void DistForgivingGraph::remove_vnode(VNodeId h) {
-  const auto& n = forest_.node(h);
-  NodeId owner = n.owner;
-  NodeId other = n.other;
-  bool leaf = n.is_leaf;
-  detach_vnode(h);
-  forest_.remove(h);
-  auto& proc = procs_[static_cast<size_t>(owner)];
-  if (!proc.alive) return;  // the deleted processor's slots are wiped wholesale
-  auto it = proc.slots.find(other);
-  FG_CHECK(it != proc.slots.end());
-  if (leaf) {
-    FG_CHECK(it->second.leaf == h);
-    it->second.leaf = kNoVNode;
-  } else {
-    FG_CHECK(it->second.helper == h);
-    it->second.helper = kNoVNode;
-  }
-  if (it->second.leaf == kNoVNode && it->second.helper == kNoVNode) proc.slots.erase(it);
-}
-
-haft::PieceInfo DistForgivingGraph::piece_info(const PieceCtx& p) const {
-  const auto& n = forest_.node(p.root);
-  FG_CHECK(forest_.is_perfect(p.root));
-  const auto& rep = forest_.node(n.rep);
-  return {n.leaf_count, slot_key(rep.owner, rep.other)};
-}
-
-DistForgivingGraph::PieceCtx DistForgivingGraph::join_pieces(const PieceCtx& l,
-                                                             const PieceCtx& r) {
-  // Representative mechanism, exactly as in the centralized engine: the left
-  // tree's representative simulates the new helper; the merged root inherits
-  // the right tree's representative. (Copy fields before make_helper: it may
-  // grow the node arena.)
-  const auto& rep = forest_.node(forest_.node(l.root).rep);
-  NodeId rep_owner = rep.owner;
-  NodeId rep_other = rep.other;
-  NodeId left_owner = forest_.node(l.root).owner;
-  NodeId right_owner = forest_.node(r.root).owner;
-  VNodeId h = forest_.make_helper(rep_owner, rep_other, l.root, r.root);
-  Slot& s = procs_[static_cast<size_t>(rep_owner)].slots[rep_other];
-  FG_CHECK_MSG(s.helper == kNoVNode, "representative already simulates a helper");
-  s.helper = h;
-  add_image_edge(rep_owner, left_owner);
-  add_image_edge(rep_owner, right_owner);
-  return PieceCtx{h, -1};
+  deleting_.clear();
 }
 
 // ---------------------------------------------------------------------------
@@ -356,7 +198,10 @@ void DistForgivingGraph::merge_global(std::vector<PieceCtx> pieces,
     report_msgs_.push_back(rep);
   }
 
-  if (pieces.size() == 1) return;  // single piece: nothing to merge
+  if (pieces.size() == 1) {
+    core_.finish_repair(pieces.front().root);
+    return;  // single piece: nothing to merge
+  }
 
   // Plan broadcast down the participant binary tree (heap layout). The plan
   // names every piece, so the message is O(pieces) words — the price
@@ -379,14 +224,14 @@ void DistForgivingGraph::merge_global(std::vector<PieceCtx> pieces,
   // whole plan and links its join's children without waiting for others.
   std::vector<haft::PieceInfo> infos;
   infos.reserve(pieces.size());
-  for (const PieceCtx& p : pieces) infos.push_back(piece_info(p));
+  for (const PieceCtx& p : pieces) infos.push_back(core_.piece_info(p.root));
   auto plan = haft::merge_plan(std::move(infos));
   for (const auto& step : plan) {
     const PieceCtx& l = pieces[static_cast<size_t>(step.left)];
     const PieceCtx& r = pieces[static_cast<size_t>(step.right)];
     NodeId lo = piece_owner(l);
     NodeId ro = piece_owner(r);
-    NodeId u = forest_.node(forest_.node(l.root).rep).owner;
+    NodeId u = core_.forest().node(core_.forest().node(l.root).rep).owner;
     if (u != coordinator_ && !know_.contains(u)) {
       // The left root's owner forwards the relevant plan excerpt to the
       // representative that must act (it is a leaf owner, not necessarily a
@@ -400,6 +245,7 @@ void DistForgivingGraph::merge_global(std::vector<PieceCtx> pieces,
     FG_CHECK(static_cast<int>(pieces.size()) == step.result);
     pieces.push_back(res);
   }
+  core_.finish_repair(pieces.back().root);
 }
 
 // ---------------------------------------------------------------------------
@@ -409,7 +255,10 @@ void DistForgivingGraph::merge_stage_wise(std::vector<PieceCtx> pieces,
                                           const std::vector<NodeId>& participants) {
   FG_CHECK(!pieces.empty());
   coordinator_ = participants.front();
-  if (pieces.size() == 1) return;
+  if (pieces.size() == 1) {
+    core_.finish_repair(pieces.front().root);
+    return;
+  }
 
   std::unordered_map<NodeId, size_t> member_idx;
   for (size_t i = 0; i < participants.size(); ++i) member_idx[participants[i]] = i;
@@ -430,7 +279,7 @@ void DistForgivingGraph::merge_stage_wise(std::vector<PieceCtx> pieces,
     std::vector<PieceCtx>& list = lists[i];
     std::vector<haft::PieceInfo> infos;
     infos.reserve(list.size());
-    for (const PieceCtx& p : list) infos.push_back(piece_info(p));
+    for (const PieceCtx& p : list) infos.push_back(core_.piece_info(p.root));
     auto plan = chain ? haft::merge_plan(std::move(infos))
                       : haft::carry_plan(std::move(infos));
     std::vector<char> consumed(list.size() + plan.size(), 0);
@@ -439,7 +288,7 @@ void DistForgivingGraph::merge_stage_wise(std::vector<PieceCtx> pieces,
       const PieceCtx& r = list[static_cast<size_t>(step.right)];
       NodeId lo = piece_owner(l);
       NodeId ro = piece_owner(r);
-      NodeId u = forest_.node(forest_.node(l.root).rep).owner;
+      NodeId u = core_.forest().node(core_.forest().node(l.root).rep).owner;
       std::vector<int> deps = ready[i];
       if (u != participants[i])
         deps = {add_msg(participants[i], u, 4, ready[i])};  // join order
@@ -474,89 +323,7 @@ void DistForgivingGraph::merge_stage_wise(std::vector<PieceCtx> pieces,
     run_stage(ii, /*chain=*/ii == 0);
   }
   FG_CHECK(lists[0].size() == 1);
-}
-
-// ---------------------------------------------------------------------------
-// Validation (same invariant set as the centralized engine).
-
-void DistForgivingGraph::validate() const {
-  // --- Slot consistency.
-  for (NodeId u = 0; u < static_cast<NodeId>(procs_.size()); ++u) {
-    const Proc& p = procs_[static_cast<size_t>(u)];
-    FG_CHECK(p.alive == g_.is_alive(u));
-    if (!p.alive) {
-      FG_CHECK(p.slots.empty());
-      continue;
-    }
-    for (const auto& [other, slot] : p.slots) {
-      FG_CHECK_MSG(gprime_.has_edge(u, other), "slot without a G' edge");
-      FG_CHECK_MSG(!g_.is_alive(other), "slot for an alive neighbor");
-      FG_CHECK(slot.leaf != kNoVNode);
-      const auto& leaf = forest_.node(slot.leaf);
-      FG_CHECK(leaf.is_leaf && leaf.owner == u && leaf.other == other);
-      if (slot.helper != kNoVNode) {
-        const auto& h = forest_.node(slot.helper);
-        FG_CHECK(!h.is_leaf && h.owner == u && h.other == other);
-        FG_CHECK_MSG(forest_.is_ancestor(slot.helper, slot.leaf),
-                     "helper is not an ancestor of its real node");
-      }
-    }
-    for (NodeId w : gprime_.neighbors(u))
-      if (!g_.is_alive(w)) FG_CHECK_MSG(p.slots.contains(w), "missing real node for dead edge");
-  }
-
-  // --- Forest structure, haft property, representative invariant.
-  std::unordered_set<VNodeId> seen_roots;
-  for (NodeId u = 0; u < static_cast<NodeId>(procs_.size()); ++u) {
-    for (const auto& [other, slot] : procs_[static_cast<size_t>(u)].slots) {
-      for (VNodeId h : {slot.leaf, slot.helper}) {
-        if (h == kNoVNode) continue;
-        VNodeId r = forest_.root_of(h);
-        if (!seen_roots.insert(r).second) continue;
-        FG_CHECK_MSG(forest_.valid_haft(r), "RT is not a haft");
-        for (VNodeId x : forest_.subtree_of(r)) {
-          const auto& n = forest_.node(x);
-          if (n.is_leaf) continue;
-          int free_leaves = 0;
-          VNodeId free_leaf = kNoVNode;
-          for (VNodeId leaf : forest_.leaves_of(x)) {
-            const auto& ln = forest_.node(leaf);
-            auto it = procs_[static_cast<size_t>(ln.owner)].slots.find(ln.other);
-            FG_CHECK(it != procs_[static_cast<size_t>(ln.owner)].slots.end());
-            VNodeId helper = it->second.helper;
-            bool has_helper_inside = helper != kNoVNode && forest_.is_ancestor(x, helper);
-            if (!has_helper_inside) {
-              ++free_leaves;
-              free_leaf = leaf;
-            }
-          }
-          FG_CHECK_MSG(free_leaves == 1, "representative invariant violated (count)");
-          FG_CHECK_MSG(free_leaf == n.rep, "representative invariant violated (identity)");
-        }
-      }
-    }
-  }
-
-  // --- The image graph equals a from-scratch rebuild.
-  Graph rebuilt;
-  for (NodeId u = 0; u < g_.node_capacity(); ++u) rebuilt.add_node();
-  for (NodeId u = 0; u < g_.node_capacity(); ++u)
-    if (!g_.is_alive(u)) rebuilt.remove_node(u);
-  for (NodeId u = 0; u < gprime_.node_capacity(); ++u) {
-    if (!g_.is_alive(u)) continue;
-    for (NodeId w : gprime_.neighbors(u))
-      if (u < w && g_.is_alive(w)) rebuilt.add_edge(u, w);
-  }
-  for (VNodeId r : seen_roots) {
-    for (VNodeId x : forest_.subtree_of(r)) {
-      const auto& n = forest_.node(x);
-      if (n.parent == kNoVNode) continue;
-      NodeId a = n.owner;
-      NodeId b = forest_.node(n.parent).owner;
-      if (a != b && !rebuilt.has_edge(a, b)) rebuilt.add_edge(a, b);
-    }
-  }
-  FG_CHECK_MSG(g_.same_topology(rebuilt), "image graph diverged from rebuild");
+  core_.finish_repair(lists[0].front().root);
 }
 
 }  // namespace fg::dist

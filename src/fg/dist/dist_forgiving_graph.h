@@ -1,15 +1,21 @@
 // Distributed Forgiving Graph protocol (Sections 3-5, Lemma 4).
 //
-// The same self-healing algorithm as fg::ForgivingGraph, but executed as a
-// message-passing protocol over the round-synchronous simulator in
-// net::Network, with the paper's cost metrics measured per repair:
-// messages, words, rounds, largest message, and per-node traffic.
+// The same self-healing algorithm as fg::ForgivingGraph — literally: both
+// engines drive the single structural mutation path in
+// core::StructuralCore. This class adds the protocol layer on top: every
+// repair installs a RepairObserver on the core, translates each structural
+// mutation into a message of a dependency DAG, and replays that DAG over
+// the round-synchronous simulator in net::Network with the paper's cost
+// metrics measured per repair: messages, words, rounds, largest message,
+// and per-node traffic.
 //
 // Model assumptions (the paper's, Figure 1):
 //   * When processor v is deleted, every processor owning a virtual node in
 //     an RT touched by the deletion learns of it in the detection round
 //     (processors replicate, per incident edge slot, the Table-1 metadata of
 //     the far endpoint — a node's "will" in the self-healing literature).
+//     A batched deletion (delete_batch) models simultaneous failures: one
+//     detection round covers all victims.
 //   * Messages are delivered reliably but, under a non-default
 //     net::DeliveryPolicy, with arbitrary per-message delay and order. The
 //     protocol must tolerate this; only `rounds` may change.
@@ -30,9 +36,10 @@
 //     tree over the participants. Every helper owner then acts in parallel,
 //     giving O(log d + log n) rounds — within the paper's O(log d log n)
 //     budget — at the price of O(pieces)-word plan messages. Because the
-//     plan is exactly the one the centralized engine executes, the healed
-//     topology is bit-identical to fg::ForgivingGraph under every
-//     adversarial schedule and every delivery policy.
+//     plan is exactly the one the centralized engine executes — over the
+//     piece sequence the shared core emits — the healed topology is
+//     bit-identical to fg::ForgivingGraph under every adversarial schedule
+//     and every delivery policy.
 //   * kStageWise: the paper-faithful BottomupRTMerge. Piece lists climb the
 //     participant tree; at each stage equal-sized trees are joined
 //     immediately (haft::carry_plan), so every list in flight has pairwise
@@ -40,19 +47,16 @@
 //     association may differ from the centralized engine's, but the result
 //     is the same leaf set in a valid haft, so all Theorem-1 bounds hold.
 //
-// Invariants maintained (checked by validate()):
-//   * every RT is a haft over the real nodes of its dead edge slots;
-//   * every internal RT node's representative is its unique free leaf;
-//   * each helper is an ancestor of its own slot's leaf;
-//   * the image graph G equals the homomorphic image of G' minus dead
-//     processors plus the virtual forest, rebuilt from scratch.
+// validate() checks invariants I1-I5 through the shared core.
 #pragma once
 
 #include <cstdint>
 #include <span>
 #include <unordered_map>
+#include <unordered_set>
 #include <vector>
 
+#include "fg/core/structural_core.h"
 #include "fg/virtual_forest.h"
 #include "graph/graph.h"
 #include "haft/haft.h"
@@ -67,9 +71,10 @@ enum class MergeMode {
 };
 
 /// Cost sheet of the most recent repair (the quantities Lemma 4 bounds).
+/// For a batched repair, `deleted_degree` sums over the victims.
 struct RepairCost {
-  int deleted_degree = 0;  ///< Degree of the deleted node in G'.
-  int anchors = 0;         ///< Alive direct G'-neighbors of the deleted node.
+  int deleted_degree = 0;  ///< G' degree of the victim(s).
+  int anchors = 0;         ///< Alive direct G'-neighbors of the victim(s).
   int pieces = 0;          ///< Perfect trees merged (incl. fresh leaves).
   int bt_edges = 0;        ///< Edges of the participant aggregation tree.
   int64_t messages = 0;    ///< Messages sent during the repair.
@@ -99,15 +104,21 @@ class DistForgivingGraph {
   NodeId insert(std::span<const NodeId> neighbors);
 
   /// Adversarial deletion of `v` followed by the distributed repair.
-  void remove(NodeId v);
+  void remove(NodeId v) { delete_batch({&v, 1}); }
+
+  /// Batched adversarial deletion: all of `victims` fail simultaneously;
+  /// one detection round, one repair DAG, one merged plan. Structural
+  /// semantics match ForgivingGraph::delete_batch bit-for-bit in
+  /// kGlobalPlan mode.
+  void delete_batch(std::span<const NodeId> victims);
 
   /// The healed network G (homomorphic image of G' + virtual forest).
-  const Graph& image() const { return g_; }
+  const Graph& image() const { return core_.image(); }
 
   /// The insertions-only graph G' (deleted processors still present).
-  const Graph& gprime() const { return gprime_; }
+  const Graph& gprime() const { return core_.gprime(); }
 
-  bool is_alive(NodeId v) const { return g_.is_alive(v); }
+  bool is_alive(NodeId v) const { return core_.is_alive(v); }
 
   const RepairCost& last_repair_cost() const { return last_cost_; }
   const LifetimeStats& lifetime_stats() const { return lifetime_; }
@@ -116,27 +127,18 @@ class DistForgivingGraph {
   net::Network& network() { return net_; }
 
   /// Install a delivery policy (asynchrony knobs). Structure is unaffected;
-  /// only `rounds` may grow.
+  /// only `rounds` may change.
   void set_delivery_policy(const net::DeliveryPolicy& policy) {
     net_.set_policy(policy);
   }
 
-  const VirtualForest& forest() const { return forest_; }
+  const VirtualForest& forest() const { return core_.forest(); }
   MergeMode mode() const { return mode_; }
 
-  /// Full invariant check (expensive; see file comment).
-  void validate() const;
+  /// Full invariant check I1-I5 through the shared core (expensive).
+  void validate() const { core_.validate(); }
 
  private:
-  struct Slot {
-    VNodeId leaf = kNoVNode;
-    VNodeId helper = kNoVNode;
-  };
-  struct Proc {
-    bool alive = true;
-    std::unordered_map<NodeId, Slot> slots;  // keyed by the other endpoint
-  };
-
   /// One protocol message in the repair's dependency DAG. A message is sent
   /// once every message it depends on has been delivered; messages with
   /// from == to are local computation and bypass the network (uncounted,
@@ -156,23 +158,18 @@ class DistForgivingGraph {
     int detach_msg = -1;
   };
 
-  static uint64_t edge_key(NodeId u, NodeId v);
-  void add_image_edge(NodeId u, NodeId v);
-  void remove_image_edge(NodeId u, NodeId v);
-  void detach_vnode(VNodeId h);
-  void remove_vnode(VNodeId h);
-  void collect_pieces(VNodeId root, const std::vector<char>& is_dead_vnode,
-                      std::vector<PieceCtx>* out);
+  /// The core observer that mirrors the repair's structural mutations into
+  /// teardown/detach messages of the DAG.
+  class DagRecorder;
 
   NodeId piece_owner(const PieceCtx& p) const {
-    return forest_.node(p.root).owner;
+    return core_.forest().node(p.root).owner;
   }
-  haft::PieceInfo piece_info(const PieceCtx& p) const;
 
-  /// Structural join of two piece roots through the representative
-  /// mechanism (identical to the centralized engine's merge step).
-  /// Returns the context of the merged piece.
-  PieceCtx join_pieces(const PieceCtx& l, const PieceCtx& r);
+  /// Structural join through the shared core, tracked as a PieceCtx.
+  PieceCtx join_pieces(const PieceCtx& l, const PieceCtx& r) {
+    return PieceCtx{core_.join_pieces(l.root, r.root), -1};
+  }
 
   // --- DAG construction helpers (see dist_forgiving_graph.cpp).
   int add_msg(NodeId from, NodeId to, int words, std::vector<int> deps);
@@ -186,11 +183,7 @@ class DistForgivingGraph {
   void on_delivered(int i);
 
   MergeMode mode_ = MergeMode::kGlobalPlan;
-  Graph gprime_;
-  Graph g_;
-  VirtualForest forest_;
-  std::vector<Proc> procs_;
-  std::unordered_map<uint64_t, int> image_multiplicity_;
+  core::StructuralCore core_;
 
   net::Network net_;
   RepairCost last_cost_;
@@ -202,7 +195,7 @@ class DistForgivingGraph {
   std::vector<std::vector<int>> dependents_;
   std::vector<int> report_msgs_;              ///< What the coordinator waits on.
   NodeId coordinator_ = kInvalidNode;
-  NodeId deleting_ = kInvalidNode;            ///< Victim of the repair in flight.
+  std::unordered_set<NodeId> deleting_;       ///< Victims of the repair in flight.
   std::unordered_map<NodeId, int> know_;      ///< Plan-knowledge event per node.
 };
 

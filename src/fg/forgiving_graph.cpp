@@ -1,430 +1,37 @@
 #include "fg/forgiving_graph.h"
 
 #include <algorithm>
-#include <istream>
-#include <ostream>
-#include <sstream>
-#include <unordered_set>
 
-#include "haft/haft.h"
 #include "util/check.h"
 
 namespace fg {
 
-ForgivingGraph::ForgivingGraph(const Graph& g0) : gprime_(g0), g_(g0) {
-  procs_.resize(static_cast<size_t>(g0.node_capacity()));
-  for (NodeId v = 0; v < g0.node_capacity(); ++v) {
-    FG_CHECK_MSG(g0.is_alive(v), "initial graph must have no tombstones");
-    for (NodeId w : g0.neighbors(v))
-      if (v < w) ++image_multiplicity_[edge_key(v, w)];
-  }
-}
-
-uint64_t ForgivingGraph::edge_key(NodeId u, NodeId v) {
-  if (u > v) std::swap(u, v);
-  return slot_key(u, v);
-}
-
-void ForgivingGraph::add_image_edge(NodeId u, NodeId v) {
-  if (u == v) return;  // homomorphism collapses same-processor virtual edges
-  int& m = image_multiplicity_[edge_key(u, v)];
-  if (++m == 1) g_.add_edge(u, v);
-}
-
-void ForgivingGraph::remove_image_edge(NodeId u, NodeId v) {
-  if (u == v) return;
-  auto it = image_multiplicity_.find(edge_key(u, v));
-  FG_CHECK_MSG(it != image_multiplicity_.end() && it->second > 0,
-               "removing an image edge that is not present");
-  if (--it->second == 0) {
-    image_multiplicity_.erase(it);
-    g_.remove_edge(u, v);
-  }
-}
-
-NodeId ForgivingGraph::insert(std::span<const NodeId> neighbors) {
-  NodeId id = gprime_.add_node();
-  NodeId id2 = g_.add_node();
-  FG_CHECK(id == id2);
-  procs_.emplace_back();
-  std::unordered_set<NodeId> seen;
-  for (NodeId y : neighbors) {
-    FG_CHECK_MSG(g_.is_alive(y), "insertion neighbor must be alive");
-    FG_CHECK_MSG(seen.insert(y).second, "duplicate insertion neighbor");
-    gprime_.add_edge(id, y);
-    add_image_edge(id, y);
-  }
-  return id;
-}
-
-void ForgivingGraph::remove(NodeId v) {
-  FG_CHECK_MSG(g_.is_alive(v), "deleting a dead or unknown processor");
-  last_repair_ = RepairStats{};
-  last_repair_.deleted_degree_gprime = gprime_.degree(v);
-
-  // 1. The virtual nodes of the deleted processor: one real node per edge to
-  //    an already-deleted neighbor, plus every helper it simulates.
-  std::vector<VNodeId> dead_vnodes;
-  for (const auto& [other, slot] : procs_[static_cast<size_t>(v)].slots) {
-    if (slot.leaf != kNoVNode) dead_vnodes.push_back(slot.leaf);
-    if (slot.helper != kNoVNode) dead_vnodes.push_back(slot.helper);
-  }
-
-  // 2. The RTs broken by this deletion.
-  std::vector<VNodeId> roots;
-  for (VNodeId h : dead_vnodes) {
-    VNodeId r = forest_.root_of(h);
-    if (std::find(roots.begin(), roots.end(), r) == roots.end()) roots.push_back(r);
-  }
-  std::sort(roots.begin(), roots.end());
-  last_repair_.affected_rts = static_cast<int>(roots.size());
-
-  std::vector<char> is_dead(dead_vnodes.empty()
-                                ? size_t{0}
-                                : static_cast<size_t>(
-                                      *std::max_element(dead_vnodes.begin(),
-                                                        dead_vnodes.end()) +
-                                      1),
-                            0);
-  for (VNodeId h : dead_vnodes) is_dead[static_cast<size_t>(h)] = 1;
-
-  // 3. Break each affected RT into its maximal clean perfect subtrees,
-  //    discarding dead and red nodes (the Strip of Section 4.1.1 and its
-  //    fragment variant of Figure 4).
-  std::vector<VNodeId> pieces;
-  for (VNodeId r : roots) collect_pieces(r, is_dead, &pieces);
-
-  // 4. Alive direct neighbors lose their edge to v and contribute a fresh
-  //    real node (a trivial one-node RT) for the edge slot (y, v).
-  for (NodeId y : gprime_.neighbors(v)) {
-    if (!g_.is_alive(y)) continue;
-    remove_image_edge(v, y);
-    VNodeId leaf = forest_.make_leaf(y, v);
-    Slot& s = procs_[static_cast<size_t>(y)].slots[v];
-    FG_CHECK(s.leaf == kNoVNode && s.helper == kNoVNode);
-    s.leaf = leaf;
-    pieces.push_back(leaf);
-    ++last_repair_.new_leaves;
-  }
-
-  // 5. The processor itself dies. All of its image edges must be gone.
-  procs_[static_cast<size_t>(v)].alive = false;
-  procs_[static_cast<size_t>(v)].slots.clear();
-  FG_CHECK_MSG(g_.degree(v) == 0, "image bookkeeping left edges on a deleted node");
-  g_.remove_node(v);
-
-  // 6. Merge everything into the single new RT (Section 4.1.2).
-  last_repair_.pieces = static_cast<int>(pieces.size());
-  if (!pieces.empty()) {
-    VNodeId rt = merge_pieces(std::move(pieces));
-    last_repair_.final_rt_leaves = forest_.node(rt).leaf_count;
-  }
-}
-
-void ForgivingGraph::collect_pieces(VNodeId root, const std::vector<char>& is_dead_vnode,
-                                    std::vector<VNodeId>* out) {
-  auto dead = [&](VNodeId h) {
-    return h >= 0 && static_cast<size_t>(h) < is_dead_vnode.size() &&
-           is_dead_vnode[static_cast<size_t>(h)];
-  };
-
-  // Pass 1: clean(h) = subtree has no vnode of the deleted processor.
-  std::unordered_map<VNodeId, bool> clean;
-  auto mark_clean = [&](auto&& self, VNodeId h) -> bool {
-    const auto& n = forest_.node(h);
-    bool c = !dead(h);
-    if (!n.is_leaf) {
-      bool cl = self(self, n.left);
-      bool cr = self(self, n.right);
-      c = c && cl && cr;
-    }
-    clean[h] = c;
-    return c;
-  };
-  mark_clean(mark_clean, root);
-
-  // Pass 2: detach the maximal clean perfect subtrees; everything else is a
-  // dead node or a red helper and is removed. Children are processed before
-  // their (to-be-removed) parent so that by the time a node is removed its
-  // child links are gone; removal itself clears the parent link and its
-  // image edge.
-  auto collect = [&](auto&& self, VNodeId h) -> void {
-    if (clean[h] && forest_.is_perfect(h)) {
-      detach_vnode(h);
-      out->push_back(h);
-      return;
-    }
-    const auto& n = forest_.node(h);
-    VNodeId l = n.left;
-    VNodeId r = n.right;
-    if (l != kNoVNode) self(self, l);
-    if (r != kNoVNode) self(self, r);
-    if (!dead(h)) ++last_repair_.helpers_removed;  // red helper
-    remove_vnode(h);
-  };
-  collect(collect, root);
-}
-
-void ForgivingGraph::detach_vnode(VNodeId h) {
-  const auto& n = forest_.node(h);
-  if (n.parent == kNoVNode) return;
-  remove_image_edge(n.owner, forest_.node(n.parent).owner);
-  forest_.unlink_from_parent(h);
-}
-
-void ForgivingGraph::remove_vnode(VNodeId h) {
-  const auto& n = forest_.node(h);
-  NodeId owner = n.owner;
-  NodeId other = n.other;
-  bool leaf = n.is_leaf;
-  detach_vnode(h);
-  forest_.remove(h);
-  auto& proc = procs_[static_cast<size_t>(owner)];
-  if (!proc.alive) return;  // the deleted processor's slots are wiped wholesale
-  auto it = proc.slots.find(other);
-  FG_CHECK(it != proc.slots.end());
-  if (leaf) {
-    FG_CHECK(it->second.leaf == h);
-    it->second.leaf = kNoVNode;
-  } else {
-    FG_CHECK(it->second.helper == h);
-    it->second.helper = kNoVNode;
-  }
-  if (it->second.leaf == kNoVNode && it->second.helper == kNoVNode) proc.slots.erase(it);
-}
-
-VNodeId ForgivingGraph::merge_pieces(std::vector<VNodeId> pieces) {
-  FG_CHECK(!pieces.empty());
-  if (pieces.size() == 1) return pieces.front();
-
-  std::vector<haft::PieceInfo> infos;
-  infos.reserve(pieces.size());
-  for (VNodeId h : pieces) {
-    const auto& n = forest_.node(h);
-    FG_CHECK(forest_.is_perfect(h));
-    const auto& rep = forest_.node(n.rep);
-    infos.push_back({n.leaf_count, slot_key(rep.owner, rep.other)});
-  }
-  auto plan = haft::merge_plan(std::move(infos));
-  for (const auto& step : plan) {
-    VNodeId l = pieces[static_cast<size_t>(step.left)];
-    VNodeId r = pieces[static_cast<size_t>(step.right)];
-    // Representative mechanism: the left tree's representative simulates the
-    // new helper; the merged root inherits the right tree's representative.
-    // (Copy fields before make_helper: it may grow the node arena.)
-    const auto& rep = forest_.node(forest_.node(l).rep);
-    NodeId rep_owner = rep.owner;
-    NodeId rep_other = rep.other;
-    NodeId left_owner = forest_.node(l).owner;
-    NodeId right_owner = forest_.node(r).owner;
-    VNodeId h = forest_.make_helper(rep_owner, rep_other, l, r);
-    Slot& s = procs_[static_cast<size_t>(rep_owner)].slots[rep_other];
-    FG_CHECK_MSG(s.helper == kNoVNode, "representative already simulates a helper");
-    s.helper = h;
-    add_image_edge(rep_owner, left_owner);
-    add_image_edge(rep_owner, right_owner);
-    FG_CHECK(static_cast<int>(pieces.size()) == step.result);
-    pieces.push_back(h);
-    ++last_repair_.helpers_created;
-  }
-  return pieces.back();
-}
-
-void ForgivingGraph::save(std::ostream& os) const {
-  os << "FGv1\n";
-  os << "capacity " << gprime_.node_capacity() << '\n';
-  os << "dead";
-  for (NodeId v = 0; v < gprime_.node_capacity(); ++v)
-    if (!g_.is_alive(v)) os << ' ' << v;
-  os << '\n';
-  os << "edges " << gprime_.edge_count() << '\n';
-  for (NodeId v = 0; v < gprime_.node_capacity(); ++v)
-    for (NodeId w : gprime_.neighbors(v))
-      if (v < w) os << v << ' ' << w << '\n';
-  const auto& arena = forest_.dump();
-  os << "vnodes " << arena.size() << '\n';
-  for (const auto& n : arena)
-    os << n.alive << ' ' << n.is_leaf << ' ' << n.owner << ' ' << n.other << ' '
-       << n.parent << ' ' << n.left << ' ' << n.right << ' ' << n.height << ' '
-       << n.leaf_count << ' ' << n.rep << '\n';
-  os << "end\n";
+void ForgivingGraph::delete_batch(std::span<const NodeId> victims) {
+  // The core performs the whole structural repair; the centralized engine
+  // applies the merge directly as one atomic step (no observer — there is
+  // no protocol layer to mirror the mutations into).
+  std::vector<VNodeId> pieces = core_.begin_deletion(victims);
+  if (!pieces.empty()) core_.merge_pieces(std::move(pieces));
 }
 
 ForgivingGraph ForgivingGraph::load(std::istream& is) {
-  auto expect = [&is](const char* token) {
-    std::string word;
-    FG_CHECK_MSG(static_cast<bool>(is >> word) && word == token, "malformed checkpoint");
-  };
-
   ForgivingGraph fg;
-  expect("FGv1");
-  expect("capacity");
-  int capacity = 0;
-  FG_CHECK(static_cast<bool>(is >> capacity) && capacity >= 0);
-  for (int i = 0; i < capacity; ++i) {
-    fg.gprime_.add_node();
-    fg.g_.add_node();
-  }
-  fg.procs_.resize(static_cast<size_t>(capacity));
-
-  expect("dead");
-  {
-    std::string rest;
-    std::getline(is, rest);
-    std::istringstream ls(rest);
-    NodeId v;
-    while (ls >> v) {
-      fg.g_.remove_node(v);
-      fg.procs_[static_cast<size_t>(v)].alive = false;
-    }
-  }
-
-  expect("edges");
-  int64_t edges = 0;
-  FG_CHECK(static_cast<bool>(is >> edges) && edges >= 0);
-  for (int64_t i = 0; i < edges; ++i) {
-    NodeId u = kInvalidNode, w = kInvalidNode;
-    FG_CHECK(static_cast<bool>(is >> u >> w));
-    fg.gprime_.add_edge(u, w);
-    if (fg.g_.is_alive(u) && fg.g_.is_alive(w)) {
-      ++fg.image_multiplicity_[edge_key(u, w)];
-      fg.g_.add_edge(u, w);
-    }
-  }
-
-  expect("vnodes");
-  size_t arena_size = 0;
-  FG_CHECK(static_cast<bool>(is >> arena_size));
-  std::vector<VirtualForest::VNode> arena(arena_size);
-  for (auto& n : arena) {
-    FG_CHECK(static_cast<bool>(is >> n.alive >> n.is_leaf >> n.owner >> n.other >>
-                               n.parent >> n.left >> n.right >> n.height >> n.leaf_count >>
-                               n.rep));
-  }
-  expect("end");
-  fg.forest_ = VirtualForest::from_dump(std::move(arena));
-
-  // Rebuild the derived state: slot table and the virtual part of the image.
-  const auto& nodes = fg.forest_.dump();
-  for (VNodeId h = 0; h < static_cast<VNodeId>(nodes.size()); ++h) {
-    const auto& n = nodes[static_cast<size_t>(h)];
-    if (!n.alive) continue;
-    Slot& s = fg.procs_[static_cast<size_t>(n.owner)].slots[n.other];
-    if (n.is_leaf) {
-      FG_CHECK(s.leaf == kNoVNode);
-      s.leaf = h;
-    } else {
-      FG_CHECK(s.helper == kNoVNode);
-      s.helper = h;
-    }
-    if (n.parent != kNoVNode) fg.add_image_edge(n.owner, nodes[static_cast<size_t>(n.parent)].owner);
-  }
+  fg.core_ = core::StructuralCore::load(is);
   return fg;
 }
 
-int ForgivingGraph::helper_count(NodeId v) const {
-  FG_CHECK(v >= 0 && static_cast<size_t>(v) < procs_.size());
-  int count = 0;
-  for (const auto& [other, slot] : procs_[static_cast<size_t>(v)].slots)
-    if (slot.helper != kNoVNode) ++count;
-  return count;
-}
-
 double ForgivingGraph::degree_ratio(NodeId v) const {
-  FG_CHECK(g_.is_alive(v));
-  int dp = gprime_.degree(v);
+  FG_CHECK(healed().is_alive(v));
+  int dp = gprime().degree(v);
   FG_CHECK(dp > 0);
-  return static_cast<double>(g_.degree(v)) / dp;
+  return static_cast<double>(healed().degree(v)) / dp;
 }
 
 double ForgivingGraph::max_degree_ratio() const {
   double worst = 1.0;
-  for (NodeId v : g_.alive_nodes())
-    if (gprime_.degree(v) > 0) worst = std::max(worst, degree_ratio(v));
+  for (NodeId v : healed().alive_nodes())
+    if (gprime().degree(v) > 0) worst = std::max(worst, degree_ratio(v));
   return worst;
-}
-
-void ForgivingGraph::validate() const {
-  // --- Slot consistency.
-  for (NodeId u = 0; u < static_cast<NodeId>(procs_.size()); ++u) {
-    const Proc& p = procs_[static_cast<size_t>(u)];
-    FG_CHECK(p.alive == g_.is_alive(u));
-    if (!p.alive) {
-      FG_CHECK(p.slots.empty());
-      continue;
-    }
-    for (const auto& [other, slot] : p.slots) {
-      FG_CHECK_MSG(gprime_.has_edge(u, other), "slot without a G' edge");
-      FG_CHECK_MSG(!g_.is_alive(other), "slot for an alive neighbor");
-      FG_CHECK(slot.leaf != kNoVNode);  // helper implies leaf, leaf tracks dead edge
-      const auto& leaf = forest_.node(slot.leaf);
-      FG_CHECK(leaf.is_leaf && leaf.owner == u && leaf.other == other);
-      if (slot.helper != kNoVNode) {
-        const auto& h = forest_.node(slot.helper);
-        FG_CHECK(!h.is_leaf && h.owner == u && h.other == other);
-        // Lemma 3 corollary: the helper is an ancestor of its slot's leaf.
-        FG_CHECK_MSG(forest_.is_ancestor(slot.helper, slot.leaf),
-                     "helper is not an ancestor of its real node");
-      }
-    }
-    // Every dead G' neighbor must have a leaf slot.
-    for (NodeId w : gprime_.neighbors(u))
-      if (!g_.is_alive(w)) FG_CHECK_MSG(p.slots.contains(w), "missing real node for dead edge");
-  }
-
-  // --- Forest structure, haft property, representative invariant.
-  std::unordered_set<VNodeId> seen_roots;
-  for (NodeId u = 0; u < static_cast<NodeId>(procs_.size()); ++u) {
-    for (const auto& [other, slot] : procs_[static_cast<size_t>(u)].slots) {
-      for (VNodeId h : {slot.leaf, slot.helper}) {
-        if (h == kNoVNode) continue;
-        VNodeId r = forest_.root_of(h);
-        if (!seen_roots.insert(r).second) continue;
-        FG_CHECK_MSG(forest_.valid_haft(r), "RT is not a haft");
-        // Representative invariant on every internal node of the RT.
-        for (VNodeId x : forest_.subtree_of(r)) {
-          const auto& n = forest_.node(x);
-          if (n.is_leaf) continue;
-          int free_leaves = 0;
-          VNodeId free_leaf = kNoVNode;
-          for (VNodeId leaf : forest_.leaves_of(x)) {
-            const auto& ln = forest_.node(leaf);
-            auto it = procs_[static_cast<size_t>(ln.owner)].slots.find(ln.other);
-            FG_CHECK(it != procs_[static_cast<size_t>(ln.owner)].slots.end());
-            VNodeId helper = it->second.helper;
-            bool has_helper_inside = helper != kNoVNode && forest_.is_ancestor(x, helper);
-            if (!has_helper_inside) {
-              ++free_leaves;
-              free_leaf = leaf;
-            }
-          }
-          FG_CHECK_MSG(free_leaves == 1, "representative invariant violated (count)");
-          FG_CHECK_MSG(free_leaf == n.rep, "representative invariant violated (identity)");
-        }
-      }
-    }
-  }
-
-  // --- The image graph equals a from-scratch rebuild.
-  Graph rebuilt;
-  for (NodeId u = 0; u < g_.node_capacity(); ++u) rebuilt.add_node();
-  for (NodeId u = 0; u < g_.node_capacity(); ++u)
-    if (!g_.is_alive(u)) rebuilt.remove_node(u);
-  for (NodeId u = 0; u < gprime_.node_capacity(); ++u) {
-    if (!g_.is_alive(u)) continue;
-    for (NodeId w : gprime_.neighbors(u))
-      if (u < w && g_.is_alive(w)) rebuilt.add_edge(u, w);
-  }
-  for (VNodeId r : seen_roots) {
-    for (VNodeId x : forest_.subtree_of(r)) {
-      const auto& n = forest_.node(x);
-      if (n.parent == kNoVNode) continue;
-      NodeId a = n.owner;
-      NodeId b = forest_.node(n.parent).owner;
-      if (a != b && !rebuilt.has_edge(a, b)) rebuilt.add_edge(a, b);
-    }
-  }
-  FG_CHECK_MSG(g_.same_topology(rebuilt), "image graph diverged from rebuild");
 }
 
 }  // namespace fg

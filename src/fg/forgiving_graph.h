@@ -3,81 +3,67 @@
 // This engine executes exactly the structural algorithm of the paper —
 // insertion bookkeeping, and on each deletion the break / strip / merge of
 // Reconstruction Trees with the representative mechanism of Algorithm A.9 —
-// as one atomic step per adversarial event. It maintains:
+// as one atomic step per adversarial event. All structural state and every
+// container mutation live in the shared core::StructuralCore, which the
+// distributed protocol (fg/dist) drives too: both engines execute the same
+// code path and the same deterministic haft::merge_plan, so the healed
+// topologies are bit-identical by construction (docs/DESIGN.md invariant 6;
+// pinned by tests/dist_equivalence_test.cpp and exhaustive_small_test.cpp).
 //
-//   * G'  — the graph of all insertions, with no deletions applied (deleted
-//           processors remain as usable path intermediaries, per the paper's
-//           success metrics);
-//   * G   — the actual healed network: the homomorphic image of G' minus the
-//           deleted processors plus the virtual forest.
-//
-// The distributed protocol (fg/dist) produces bit-identical topologies; the
-// equivalence test in tests/dist_equivalence_test.cpp relies on both engines
-// sharing haft::merge_plan and the slot_key ordering.
-//
-// Invariants maintained after every insert/remove (checked by validate()):
-//   I1. Slot consistency: processor u has a slot keyed by w iff (u, w) is a
-//       G' edge whose far endpoint w is dead; the slot always holds the real
-//       (leaf) node of that edge and at most one helper.
-//   I2. Every Reconstruction Tree in the virtual forest is a haft over the
-//       real nodes of its dead edge slots (Lemma 1 bounds its depth by
-//       ceil(log2 leaves)).
-//   I3. Representative: every internal RT node's `rep` is the unique leaf of
-//       its subtree whose slot simulates no helper inside that subtree —
-//       which is why each processor gains at most one helper (≤ 3 virtual
-//       degree, ≤ 4 network degree) per G' edge.
-//   I4. Each helper is an ancestor of its own slot's leaf (Lemma 3).
-//   I5. G is exactly the homomorphic image: G' minus dead processors, plus
-//       one edge per virtual tree edge whose endpoints have distinct owners.
+// The invariants maintained after every insert/remove (I1-I5, checked by
+// validate()) are documented on core::StructuralCore.
 #pragma once
 
 #include <cstdint>
 #include <iosfwd>
 #include <span>
-#include <unordered_map>
 #include <vector>
 
+#include "fg/core/structural_core.h"
 #include "fg/virtual_forest.h"
 #include "graph/graph.h"
 
 namespace fg {
 
-/// Structural statistics of the most recent deletion repair.
-struct RepairStats {
-  int affected_rts = 0;     ///< RTs broken by the deletion.
-  int pieces = 0;           ///< Perfect trees merged (incl. new leaves).
-  int new_leaves = 0;       ///< Fresh real nodes (alive direct neighbors).
-  int helpers_created = 0;  ///< Helper nodes instantiated by the merge.
-  int helpers_removed = 0;  ///< "Red" helpers discarded by stripping.
-  int64_t final_rt_leaves = 0;  ///< Leaves of the resulting RT (0 if none).
-  int deleted_degree_gprime = 0;  ///< Degree of the deleted node in G'.
-};
+/// Structural statistics of the most recent deletion repair (shared with
+/// the distributed engine through the core).
+using RepairStats = core::RepairStats;
 
 /// The Forgiving Graph self-healing data structure (centralized engine).
 class ForgivingGraph {
  public:
   /// Start from a connected network G0; ids 0..n-1 become live processors.
-  explicit ForgivingGraph(const Graph& g0);
+  explicit ForgivingGraph(const Graph& g0) : core_(g0) {}
 
   /// Adversarial insertion: a new processor attached to `neighbors` (all
   /// alive, no duplicates). Returns the new processor id.
-  NodeId insert(std::span<const NodeId> neighbors);
+  NodeId insert(std::span<const NodeId> neighbors) {
+    return core_.insert_node(neighbors);
+  }
 
   /// Adversarial deletion of `v` followed by the healing repair.
-  void remove(NodeId v);
+  void remove(NodeId v) { delete_batch({&v, 1}); }
+
+  /// Batched adversarial deletion: all of `victims` (alive, distinct) die
+  /// simultaneously and one repair round heals the network with a single
+  /// merged plan — every broken RT plus every fresh anchor leaf is merged
+  /// into one new RT. Equivalent to sequential deletions with respect to
+  /// invariants I1-I5 and the Theorem 1 degree/stretch bounds, at a
+  /// fraction of the repair cost under heavy churn.
+  void delete_batch(std::span<const NodeId> victims);
 
   /// The actual healed network G.
-  const Graph& healed() const { return g_; }
+  const Graph& healed() const { return core_.image(); }
 
   /// The insertions-only graph G' (deleted processors still present).
-  const Graph& gprime() const { return gprime_; }
+  const Graph& gprime() const { return core_.gprime(); }
 
-  bool is_alive(NodeId v) const { return g_.is_alive(v); }
+  bool is_alive(NodeId v) const { return core_.is_alive(v); }
 
-  const RepairStats& last_repair() const { return last_repair_; }
+  const RepairStats& last_repair() const { return core_.last_repair(); }
 
   /// Number of helper nodes currently simulated by processor v.
-  int helper_count(NodeId v) const;
+  int helper_count(NodeId v) const { return core_.helper_count(v); }
 
   /// Degree of v in G divided by its degree in G' (Theorem 1.1 numerator /
   /// denominator). v must be alive and have G'-degree > 0.
@@ -86,65 +72,23 @@ class ForgivingGraph {
   /// Max degree ratio over all alive processors (1.0 for an empty graph).
   double max_degree_ratio() const;
 
-  const VirtualForest& forest() const { return forest_; }
+  const VirtualForest& forest() const { return core_.forest(); }
 
   /// Checkpoint the complete structure (G', liveness, virtual forest) to a
   /// line-oriented text stream; `load` restores an equivalent engine whose
   /// behaviour is indistinguishable from the original (same topology, same
   /// future repairs). The slot table and healed image are derived state and
   /// are rebuilt on load.
-  void save(std::ostream& os) const;
+  void save(std::ostream& os) const { core_.save(os); }
   static ForgivingGraph load(std::istream& is);
 
-  /// Full invariant check (expensive; used by tests):
-  ///  - slot consistency with G' and liveness,
-  ///  - every RT is a haft,
-  ///  - representative invariant on every internal node,
-  ///  - each helper is an ancestor of its slot's leaf,
-  ///  - G equals the homomorphic image rebuilt from scratch.
-  void validate() const;
+  /// Full invariant check I1-I5 (expensive; used by tests).
+  void validate() const { core_.validate(); }
 
  private:
   ForgivingGraph() = default;  // for load()
 
-  struct Slot {
-    VNodeId leaf = kNoVNode;
-    VNodeId helper = kNoVNode;
-  };
-  struct Proc {
-    bool alive = true;
-    std::unordered_map<NodeId, Slot> slots;  // keyed by the other endpoint
-  };
-
-  static uint64_t edge_key(NodeId u, NodeId v);
-  void add_image_edge(NodeId u, NodeId v);
-  void remove_image_edge(NodeId u, NodeId v);
-
-  /// Drop the virtual edge between h and its parent from the image and
-  /// detach h (no-op on roots).
-  void detach_vnode(VNodeId h);
-
-  /// Tombstone h (children must be gone), freeing its slot registration and
-  /// its parent edge.
-  void remove_vnode(VNodeId h);
-
-  /// Break the RT rooted at `root`: remove the vnodes owned by the deleted
-  /// processor and all "red" survivors, appending the maximal clean perfect
-  /// subtrees ("pieces") to `out`.
-  void collect_pieces(VNodeId root, const std::vector<char>& is_dead_vnode,
-                      std::vector<VNodeId>* out);
-
-  /// Execute the global merge plan over `pieces`, creating helpers through
-  /// the representative mechanism; returns the final root (or the single
-  /// piece). `pieces` must be non-empty.
-  VNodeId merge_pieces(std::vector<VNodeId> pieces);
-
-  Graph gprime_;
-  Graph g_;
-  VirtualForest forest_;
-  std::vector<Proc> procs_;
-  std::unordered_map<uint64_t, int> image_multiplicity_;
-  RepairStats last_repair_;
+  core::StructuralCore core_;
 };
 
 }  // namespace fg

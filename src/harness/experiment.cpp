@@ -37,6 +37,9 @@ RunResult run_experiment(Healer& healer, Adversary& adversary, const RunConfig& 
     if (action->kind == Action::Kind::kDelete) {
       healer.remove(action->target);
       ++out.deletions;
+    } else if (action->kind == Action::Kind::kBatchDelete) {
+      healer.remove_batch(action->targets);
+      out.deletions += static_cast<int>(action->targets.size());
     } else {
       healer.insert(action->neighbors);
       ++out.insertions;

@@ -14,6 +14,10 @@ void Trace::replay(Healer& healer) const {
     if (a.kind == Action::Kind::kDelete) {
       FG_CHECK_MSG(healer.healed().is_alive(a.target), "trace deletes a dead node");
       healer.remove(a.target);
+    } else if (a.kind == Action::Kind::kBatchDelete) {
+      for (NodeId v : a.targets)
+        FG_CHECK_MSG(healer.healed().is_alive(v), "trace batch-deletes a dead node");
+      healer.remove_batch(a.targets);
     } else {
       healer.insert(a.neighbors);
     }
@@ -25,6 +29,10 @@ void Trace::save(std::ostream& os) const {
   for (const Action& a : actions_) {
     if (a.kind == Action::Kind::kDelete) {
       os << "d " << a.target << '\n';
+    } else if (a.kind == Action::Kind::kBatchDelete) {
+      os << 'b';
+      for (NodeId v : a.targets) os << ' ' << v;
+      os << '\n';
     } else {
       os << 'i';
       for (NodeId y : a.neighbors) os << ' ' << y;
@@ -45,6 +53,13 @@ Trace Trace::load(std::istream& is) {
       Action a;
       a.kind = Action::Kind::kDelete;
       FG_CHECK_MSG(static_cast<bool>(ls >> a.target), "malformed deletion line");
+      t.actions_.push_back(std::move(a));
+    } else if (kind == 'b') {
+      Action a;
+      a.kind = Action::Kind::kBatchDelete;
+      NodeId v;
+      while (ls >> v) a.targets.push_back(v);
+      FG_CHECK_MSG(!a.targets.empty(), "malformed batch deletion line");
       t.actions_.push_back(std::move(a));
     } else if (kind == 'i') {
       Action a;
@@ -74,6 +89,8 @@ Trace record_run(Healer& healer, Adversary& adversary, int max_steps, Rng& rng) 
     t.record(*action);
     if (action->kind == Action::Kind::kDelete)
       healer.remove(action->target);
+    else if (action->kind == Action::Kind::kBatchDelete)
+      healer.remove_batch(action->targets);
     else
       healer.insert(action->neighbors);
   }

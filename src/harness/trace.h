@@ -8,6 +8,7 @@
 //
 // Format (one action per line):
 //   d <node>                 deletion
+//   b <node> <node> ...      batched deletion (one repair round)
 //   i <nbr> <nbr> ...        insertion (id is implicit: next unused)
 //   # comment / blank lines ignored
 #pragma once

@@ -39,6 +39,14 @@ class Healer {
   /// Adversarial deletion followed by this strategy's repair.
   virtual void remove(NodeId v) = 0;
 
+  /// Batched adversarial deletion: all victims (alive, distinct) fail
+  /// simultaneously, healed in one repair round. The default falls back to
+  /// sequential removals; healers with a native batch path (the Forgiving
+  /// Graph's single merged plan) override it.
+  virtual void remove_batch(std::span<const NodeId> victims) {
+    for (NodeId v : victims) remove(v);
+  }
+
   /// The actual healed network G.
   virtual const Graph& healed() const = 0;
 
@@ -61,6 +69,9 @@ class ForgivingGraphHealer final : public Healer {
     return engine_.insert(neighbors);
   }
   void remove(NodeId v) override { engine_.remove(v); }
+  void remove_batch(std::span<const NodeId> victims) override {
+    engine_.delete_batch(victims);
+  }
   const Graph& healed() const override { return engine_.healed(); }
   const Graph& gprime() const override { return engine_.gprime(); }
   std::string name() const override { return "ForgivingGraph"; }

@@ -1,0 +1,82 @@
+// Scale regressions for the repair hot path. Piece collection runs an
+// explicit iterative worklist over the dirty region of a broken RT — no
+// call stack depth, and no full-RT sweep — so repairs must survive (and
+// stay fast on) structures far beyond what the property suites build:
+// a 10^5-node path under a long deletion schedule, and Reconstruction
+// Trees with tens of thousands of leaves.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "fg/forgiving_graph.h"
+#include "graph/algorithms.h"
+#include "graph/generators.h"
+#include "haft/haft.h"
+#include "harness/structure_stats.h"
+
+namespace fg {
+namespace {
+
+TEST(RepairScale, HundredThousandNodePath) {
+  // A 100001-node path; delete every interior odd node (50000 repairs),
+  // then a batch wave over surviving even nodes. The schedule exercises
+  // the iterative collector on every repair without ever overflowing any
+  // stack, and the healed network must stay one component throughout.
+  constexpr int kN = 100001;
+  ForgivingGraph fg(make_path(kN));
+  for (NodeId v = 1; v < kN - 1; v += 2) fg.remove(v);
+  EXPECT_EQ(fg.healed().alive_count(), kN - (kN - 1) / 2);
+
+  // A batched wave of every fourth survivor merges thousands of separate
+  // 2-leaf RTs (plus fresh anchors) into one RT in a single repair round.
+  std::vector<NodeId> wave;
+  for (NodeId v = 2; v < kN - 2; v += 8) wave.push_back(v);
+  fg.delete_batch(wave);
+  EXPECT_TRUE(is_connected(fg.healed()));
+  EXPECT_GE(fg.last_repair().final_rt_leaves, static_cast<int64_t>(wave.size()));
+
+  // Spot-check the degree bound on the survivors (full validate() is
+  // quadratic-ish at this scale; the bound is the paper's guarantee).
+  EXPECT_LE(fg.max_degree_ratio(), 4.0);
+}
+
+TEST(RepairScale, BigRtBreakup) {
+  // Star with 2^16 spokes: deleting the hub builds one RT with 65535
+  // leaves; deleting spoke owners afterwards breaks that giant RT. With the
+  // dirty-region worklist each breakup touches O(d log^2 n) nodes, not the
+  // whole 130k-node RT.
+  constexpr int kN = (1 << 16) + 1;
+  ForgivingGraph fg(make_star(kN));
+  fg.remove(0);
+  EXPECT_EQ(fg.last_repair().final_rt_leaves, kN - 1);
+  int depth_bound = haft::ceil_log2(kN - 1);
+  for (NodeId v = 1; v <= 24; ++v) {
+    fg.remove(v);
+    ASSERT_TRUE(fg.is_alive(kN - 1));
+    // Every repair re-merges into a haft, so the RT leaf count only shrinks
+    // by the dead leaf while depth stays within the Lemma 1 bound.
+    EXPECT_EQ(fg.last_repair().final_rt_leaves, kN - 1 - v);
+    EXPECT_LE(fg.last_repair().affected_rts, 1);
+    EXPECT_LE(structure_stats(fg).max_rt_depth, depth_bound);
+  }
+  EXPECT_TRUE(is_connected(fg.healed()));
+  EXPECT_LE(fg.max_degree_ratio(), 4.0);
+}
+
+TEST(RepairScale, BigBatchOnBigStar) {
+  // One batched wave of 512 spokes against the 2^14-leaf hub RT: a single
+  // merged plan heals all of them in one repair round.
+  constexpr int kN = (1 << 14) + 1;
+  ForgivingGraph fg(make_star(kN));
+  fg.remove(0);
+  std::vector<NodeId> wave;
+  for (NodeId v = 1; v <= 512; ++v) wave.push_back(v);
+  fg.delete_batch(wave);
+  EXPECT_TRUE(is_connected(fg.healed()));
+  EXPECT_EQ(fg.last_repair().final_rt_leaves, kN - 1 - 512);
+  EXPECT_LE(fg.max_degree_ratio(), 4.0);
+  fg.validate();  // full I1-I5 at 16k leaves is still affordable
+}
+
+}  // namespace
+}  // namespace fg
