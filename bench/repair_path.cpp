@@ -1,27 +1,38 @@
-// Experiment R1: the repair hot path, timed. Two claims to pin down:
+// Experiment R1: the repair hot path, timed. Three claims to pin down:
 //
 //   1. Piece collection walks the *dirty region* of a broken RT with an
 //      explicit iterative worklist, so breaking a giant RT costs
 //      O(d log^2 n), not O(RT size) — deleting leaves of a 2^16-leaf hub RT
 //      must not get slower as the RT grows.
 //   2. delete_batch heals a wave of k victims with one piece collection and
-//      one merged plan, beating k sequential repair rounds on wall clock
-//      (centralized) and on messages/rounds (distributed protocol).
+//      one merged plan per dirty region, beating k sequential repair rounds
+//      on wall clock (centralized) and on messages/rounds (distributed
+//      protocol).
+//   3. Sharding (R2): a disjoint 32-victim wave on ER(1024) splits into 32
+//      regions that plan concurrently and repair in parallel protocol
+//      rounds; the sharded engine's topology is bit-identical to the
+//      single-threaded engine's (contract C4, FG_CHECKed here), and the
+//      per-phase split (partition / collect / merge-plan / commit) is
+//      recorded so regressions bisect to a phase.
 //
-// Prints the measured table and writes the same rows as a
+// Prints the measured tables and writes the same rows as a
 // BENCH_repair_path.json artifact (cwd) for docs/EXPERIMENTS.md.
 // Wall-clock numbers vary by machine; ratios are the reproducible part.
 #include <chrono>
 #include <cmath>
 #include <fstream>
 #include <iostream>
+#include <sstream>
 #include <string>
 #include <vector>
 
+#include "adversary/adversary.h"
 #include "bench_common.h"
 #include "fg/dist/dist_forgiving_graph.h"
 #include "fg/forgiving_graph.h"
 #include "graph/generators.h"
+#include "heal/healer.h"
+#include "util/check.h"
 #include "util/rng.h"
 #include "util/table.h"
 
@@ -80,6 +91,13 @@ void wave(Table& t) {
       auto order = g0.alive_nodes();
       rng.shuffle(order);
       order.resize(kWave);
+      {
+        // Untimed warm-up on a throwaway engine: absorbs the one-time
+        // allocator cost of the giant RTs rt_breakup just freed, which
+        // otherwise lands entirely on whichever arm runs first.
+        ForgivingGraph warm(g0);
+        warm.delete_batch(order);
+      }
       auto t0 = std::chrono::steady_clock::now();
       if (batched) {
         fg.delete_batch(order);
@@ -128,6 +146,121 @@ void dist_wave(Table& t, Table& cost) {
   }
 }
 
+// Scenario E: the star-hub merge — one deletion creating an RT over n-1
+// equal-sized pieces, the workload where the k-way bottom-up planner
+// replaces the O(k^2) sorted-list erase/insert churn (the BM_ForgivingGraph-
+// StarHub hotspot; bench/micro_core.cpp has the google-benchmark twin).
+void star_hub_merge(Table& t) {
+  for (int n : {4096, 16384}) {
+    ForgivingGraph warm(make_star(n + 1));
+    warm.remove(0);
+    ForgivingGraph fg(make_star(n + 1));
+    auto t0 = std::chrono::steady_clock::now();
+    fg.remove(0);
+    record(t, "star_hub_merge", n, n, ms_since(t0));
+  }
+}
+
+// Scenario D (R2): the sharded plan/commit pipeline on the acceptance
+// workload — a 32-victim disjoint-region wave against a churned ER(1024).
+// Reports sequential vs sharded planning wall-clock, the per-phase split,
+// the region-vs-global commit, and the dist protocol's parallel rounds;
+// FG_CHECKs that every variant lands on the bit-identical topology.
+void sharded_wave(Table& t, Table& cost) {
+  constexpr int kN = 1024;
+  constexpr int kChurn = 96;
+  constexpr int kWave = 32;
+
+  Rng rng(1024);
+  Graph g0 = make_erdos_renyi(kN, 8.0 / kN, rng);
+
+  // Churn to grow RTs, then pick the disjoint wave the adversary would.
+  ForgivingGraphHealer probe(g0);
+  std::vector<NodeId> churned;
+  for (int i = 0; i < kChurn; ++i) {
+    auto alive = probe.healed().alive_nodes();
+    NodeId v = rng.pick(alive);
+    probe.engine().remove(v);
+    churned.push_back(v);
+  }
+  DisjointRegionsAdversary adversary(kWave);
+  auto action = adversary.next(probe, rng);
+  FG_CHECK(action.has_value() && action->targets.size() == kWave);
+  const std::vector<NodeId>& wave = action->targets;
+
+  // Snapshot the pre-wave state once; every variant replays from it.
+  std::stringstream snapshot;
+  probe.engine().save(snapshot);
+  auto fresh_engine = [&]() {
+    std::stringstream ss(snapshot.str());
+    return ForgivingGraph::load(ss);
+  };
+
+  std::string reference;  // checkpoint after the wave, workers=1
+  double plan_w1_ms = 0.0;
+  for (int workers : {1, 4}) {
+    ForgivingGraph fg = fresh_engine();
+    fg.set_shard_workers(workers);
+    auto t0 = std::chrono::steady_clock::now();
+    core::RepairPlan plan = fg.plan_delete_batch(wave);
+    double plan_ms = ms_since(t0);
+    auto t1 = std::chrono::steady_clock::now();
+    fg.commit_delete_batch(plan);
+    double commit_ms = ms_since(t1);
+
+    FG_CHECK(plan.regions.size() == kWave);  // the wave really is disjoint
+    std::stringstream after;
+    fg.save(after);
+    if (workers == 1)
+      reference = after.str();
+    else
+      FG_CHECK_MSG(after.str() == reference,
+                   "sharded repair diverged from sequential (C4)");
+
+    std::string name = workers == 1 ? "sharded_wave_plan_w1" : "sharded_wave_plan_w4";
+    record(t, name, kN, kWave, plan_ms);
+    if (workers == 1) plan_w1_ms = plan_ms;
+    if (workers == 4 && plan_ms > 0.0) {
+      // > 1 when the worker fan-out wins (multi-core); < 1 where thread
+      // spawn dominates (single-core boxes). Recorded either way.
+      g_rows.push_back({"sharded_plan_speedup_w4", kN, kWave, plan_w1_ms / plan_ms, 0.0});
+    }
+    if (workers == 1) {
+      // The per-phase split of the wave (partition/collect/merge from the
+      // planner's own profile; commit measured here).
+      record(t, "sharded_phase_partition", kN, kWave, plan.profile.partition_ms);
+      record(t, "sharded_phase_collect", kN, kWave, plan.profile.collect_ms);
+      record(t, "sharded_phase_merge_plan", kN, kWave, plan.profile.merge_ms);
+      record(t, "sharded_phase_commit", kN, kWave, commit_ms);
+    }
+  }
+
+  // Region split vs the pre-sharding single wave-wide RT, wall clock.
+  {
+    ForgivingGraph fg = fresh_engine();
+    fg.set_region_split(core::RegionSplit::kGlobal);
+    auto t0 = std::chrono::steady_clock::now();
+    fg.delete_batch(wave);
+    record(t, "sharded_wave_global_rt", kN, kWave, ms_since(t0));
+  }
+
+  // The dist protocol: independent DAG branches per region repair in
+  // max-over-regions rounds; the global split pays the sum of one big merge.
+  for (bool global : {false, true}) {
+    dist::DistForgivingGraph net(g0);
+    if (global) net.set_region_split(core::RegionSplit::kGlobal);
+    for (NodeId v : churned) net.remove(v);
+    net.delete_batch(wave);
+    const auto& c = net.last_repair_cost();
+    const char* name = global ? "dist_sharded_wave_global" : "dist_sharded_wave_regions";
+    cost.add(name, kN, kWave, std::to_string(c.messages), std::to_string(c.rounds));
+    g_rows.push_back({std::string(name) + "_rounds", kN, kWave,
+                      static_cast<double>(c.rounds), 0.0});
+    g_rows.push_back({std::string(name) + "_messages", kN, kWave,
+                      static_cast<double>(c.messages), 0.0});
+  }
+}
+
 void write_json(const std::string& path) {
   std::ofstream os(path);
   os << "{\n  \"bench\": \"repair_path\",\n  \"rows\": [\n";
@@ -146,15 +279,17 @@ void write_json(const std::string& path) {
 
 int main() {
   using namespace fg;
-  std::cout << "--- R1: repair-path hot loop (iterative dirty-region collection"
-               " + batched deletions) ---\n\n";
+  std::cout << "--- R1/R2: repair-path hot loop (dirty-region collection,"
+               " batched deletions, sharded plan/commit) ---\n\n";
   Table t{"scenario", "n", "ops", "total ms", "us/op"};
   Table cost{"scenario", "n", "victims", "messages", "rounds"};
   rt_breakup(t);
   wave(t);
   dist_wave(t, cost);
+  star_hub_merge(t);
+  sharded_wave(t, cost);
   t.print(std::cout);
-  std::cout << "\nprotocol cost (one DAG for the whole wave vs one per victim):\n";
+  std::cout << "\nprotocol cost (wave DAGs; regions repair in parallel rounds):\n";
   cost.print(std::cout);
   write_json("BENCH_repair_path.json");
   std::cout << "\nwrote BENCH_repair_path.json\n";

@@ -37,7 +37,7 @@ int main() {
   Trace assault;
   for (int i = 0; i < 15; ++i) {
     auto alive = network.healed().alive_nodes();
-    Action a{Action::Kind::kDelete, rng.pick(alive), {}, {}};
+    Action a{Action::Kind::kDelete, rng.pick(alive), {}, {}, {}};
     assault.record(a);
     network.remove(a.target);
   }

@@ -31,8 +31,9 @@ int main() {
   std::cout << "deleted processors 0 and 4\n";
 
   // 3b. Correlated failures can be healed in one repair round: a batch of
-  //     victims dies simultaneously and a single merged plan rebuilds one
-  //     Reconstruction Tree over all the debris.
+  //     victims dies simultaneously and one merged plan per connected dirty
+  //     region rebuilds a Reconstruction Tree over that region's debris
+  //     (see examples/sharded_quickstart.cpp for the plan/commit pipeline).
   std::vector<NodeId> wave{1, 5};
   network.delete_batch(wave);
   std::cout << "batch-deleted processors 1 and 5 in one repair round\n\n";

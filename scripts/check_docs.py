@@ -4,9 +4,9 @@
 1. Every intra-repo markdown link in README.md, ROADMAP.md, CHANGES.md and
    docs/*.md must resolve to an existing file (anchors are stripped;
    external http(s)/mailto links are ignored).
-2. The quickstart snippet embedded in docs/API.md between the
-   `<!-- BEGIN quickstart.cpp -->` / `<!-- END quickstart.cpp -->` markers
-   must be byte-identical to examples/quickstart.cpp.
+2. Every snippet embedded in docs/*.md between `<!-- BEGIN <file> -->` /
+   `<!-- END <file> -->` markers must be byte-identical to examples/<file>
+   (quickstart.cpp, sharded_quickstart.cpp, ...).
 
 Exits non-zero with a per-problem report on any violation.
 """
@@ -51,33 +51,46 @@ def check_links():
     return problems
 
 
-def check_quickstart_sync():
-    api = REPO / "docs" / "API.md"
-    example = REPO / "examples" / "quickstart.cpp"
-    text = api.read_text()
-    m = re.search(
-        r"<!-- BEGIN quickstart\.cpp -->\n```cpp\n(.*?)```\n<!-- END quickstart\.cpp -->",
-        text,
-        re.S,
-    )
-    if not m:
-        return [f"{api.relative_to(REPO)}: quickstart markers missing"]
-    if m.group(1) != example.read_text():
-        return [
-            f"{api.relative_to(REPO)}: embedded quickstart snippet differs from "
-            f"{example.relative_to(REPO)} — copy the file verbatim between the markers"
-        ]
-    return []
+# Snippets that must exist somewhere in docs/ (a deleted marker pair would
+# otherwise silently drop the check).
+REQUIRED_SNIPPETS = ("quickstart.cpp", "sharded_quickstart.cpp")
+
+SNIPPET_RE = re.compile(
+    r"<!-- BEGIN (?P<name>[\w.\-]+) -->\n```cpp\n(?P<body>.*?)```\n<!-- END (?P=name) -->",
+    re.S,
+)
+
+
+def check_snippet_sync():
+    problems = []
+    seen = set()
+    for md in markdown_files():
+        for m in SNIPPET_RE.finditer(md.read_text()):
+            name = m.group("name")
+            seen.add(name)
+            example = REPO / "examples" / name
+            if not example.exists():
+                problems.append(
+                    f"{md.relative_to(REPO)}: snippet marker {name} has no examples/{name}")
+                continue
+            if m.group("body") != example.read_text():
+                problems.append(
+                    f"{md.relative_to(REPO)}: embedded {name} snippet differs from "
+                    f"examples/{name} — copy the file verbatim between the markers")
+    for name in REQUIRED_SNIPPETS:
+        if name not in seen:
+            problems.append(f"docs: required snippet markers for {name} missing")
+    return problems
 
 
 def main():
-    problems = check_links() + check_quickstart_sync()
+    problems = check_links() + check_snippet_sync()
     for p in problems:
         print(p, file=sys.stderr)
     if problems:
         sys.exit(1)
     print(f"docs OK: {sum(1 for _ in markdown_files())} markdown files, "
-          "links resolve, quickstart snippet in sync")
+          "links resolve, example snippets in sync")
 
 
 if __name__ == "__main__":

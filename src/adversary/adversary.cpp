@@ -1,6 +1,7 @@
 #include "adversary/adversary.h"
 
 #include <algorithm>
+#include <unordered_set>
 
 #include "graph/algorithms.h"
 #include "util/check.h"
@@ -35,13 +36,13 @@ NodeId argmax_alive(const Graph& g, Score&& score) {
 
 std::optional<Action> RandomDeleteAdversary::next(const Healer& h, Rng& rng) {
   if (h.healed().alive_count() <= floor_) return std::nullopt;
-  return Action{Action::Kind::kDelete, random_alive(h.healed(), rng), {}, {}};
+  return Action{Action::Kind::kDelete, random_alive(h.healed(), rng), {}, {}, {}};
 }
 
 std::optional<Action> MaxDegreeDeleteAdversary::next(const Healer& h, Rng&) {
   if (h.healed().alive_count() <= floor_) return std::nullopt;
   NodeId v = argmax_alive(h.healed(), [&](NodeId x) { return h.healed().degree(x); });
-  return Action{Action::Kind::kDelete, v, {}, {}};
+  return Action{Action::Kind::kDelete, v, {}, {}, {}};
 }
 
 std::optional<Action> HelperLoadAdversary::next(const Healer& h, Rng&) {
@@ -57,17 +58,17 @@ std::optional<Action> HelperLoadAdversary::next(const Healer& h, Rng&) {
   } else {
     v = argmax_alive(h.healed(), [&](NodeId x) { return h.healed().degree(x); });
   }
-  return Action{Action::Kind::kDelete, v, {}, {}};
+  return Action{Action::Kind::kDelete, v, {}, {}, {}};
 }
 
 std::optional<Action> ChurnAdversary::next(const Healer& h, Rng& rng) {
   bool del = h.healed().alive_count() > floor_ && rng.next_bool(p_delete_);
-  if (del) return Action{Action::Kind::kDelete, random_alive(h.healed(), rng), {}, {}};
+  if (del) return Action{Action::Kind::kDelete, random_alive(h.healed(), rng), {}, {}, {}};
   auto alive = h.healed().alive_nodes();
   int want = std::min<int>(degree_, static_cast<int>(alive.size()));
   rng.shuffle(alive);
   alive.resize(static_cast<size_t>(std::max(want, 1)));
-  return Action{Action::Kind::kInsert, kInvalidNode, std::move(alive), {}};
+  return Action{Action::Kind::kInsert, kInvalidNode, std::move(alive), {}, {}};
 }
 
 std::optional<Action> BatchDeleteAdversary::next(const Healer& h, Rng& rng) {
@@ -78,6 +79,56 @@ std::optional<Action> BatchDeleteAdversary::next(const Healer& h, Rng& rng) {
   Action a;
   a.kind = Action::Kind::kBatchDelete;
   a.targets = std::move(alive);
+  return a;
+}
+
+std::optional<Action> DisjointRegionsAdversary::next(const Healer& h, Rng& rng) {
+  if (h.healed().alive_count() <= floor_ + k_) return std::nullopt;
+  auto candidates = h.healed().alive_nodes();
+  rng.shuffle(candidates);
+
+  const ForgivingGraph* engine = h.forgiving();
+  std::vector<NodeId> wave;
+  std::unordered_set<VNodeId> used_roots;  // RTs claimed by accepted victims
+
+  auto healed_far_apart = [&](NodeId u, NodeId v) {
+    // Baseline fallback: closed neighborhoods in the healed graph must be
+    // disjoint — no edge and no common neighbor (distance > 2).
+    if (h.healed().has_edge(u, v)) return false;
+    for (NodeId y : h.healed().neighbors(u))
+      if (h.healed().has_edge(y, v)) return false;
+    return true;
+  };
+
+  for (NodeId v : candidates) {
+    if (static_cast<int>(wave.size()) == k_) break;
+    bool ok = true;
+    for (NodeId u : wave) {
+      // A G' edge between two victims forces them into one repair region.
+      if (h.gprime().has_edge(u, v) || (engine == nullptr && !healed_far_apart(u, v))) {
+        ok = false;
+        break;
+      }
+    }
+    std::vector<VNodeId> roots;
+    if (ok && engine != nullptr) {
+      // So does a shared Reconstruction Tree.
+      roots = engine->affected_roots(v);
+      for (VNodeId r : roots) {
+        if (used_roots.contains(r)) {
+          ok = false;
+          break;
+        }
+      }
+    }
+    if (!ok) continue;
+    used_roots.insert(roots.begin(), roots.end());
+    wave.push_back(v);
+  }
+  if (wave.empty()) return std::nullopt;
+  Action a;
+  a.kind = Action::Kind::kBatchDelete;
+  a.targets = std::move(wave);
   return a;
 }
 
@@ -92,16 +143,16 @@ std::optional<Action> CutVertexAdversary::next(const Healer& h, Rng&) {
     Graph probe = g;
     probe.remove_node(v);
     if (connected_components(probe) > base_components)
-      return Action{Action::Kind::kDelete, v, {}, {}};
+      return Action{Action::Kind::kDelete, v, {}, {}, {}};
   }
   NodeId fallback = argmax_alive(g, [&](NodeId x) { return g.degree(x); });
-  return Action{Action::Kind::kDelete, fallback, {}, {}};
+  return Action{Action::Kind::kDelete, fallback, {}, {}, {}};
 }
 
 std::optional<Action> StarAttackAdversary::next(const Healer& h, Rng&) {
   if (done_ || !h.healed().is_alive(0)) return std::nullopt;
   done_ = true;
-  return Action{Action::Kind::kDelete, 0, {}, {}};
+  return Action{Action::Kind::kDelete, 0, {}, {}, {}};
 }
 
 std::optional<Action> BuildAndBurnAdversary::next(const Healer& h, Rng& rng) {
@@ -112,9 +163,9 @@ std::optional<Action> BuildAndBurnAdversary::next(const Healer& h, Rng& rng) {
     alive.resize(static_cast<size_t>(std::max(want, 1)));
     // Remember which id the insertion will get: ids are consecutive.
     pending_ = static_cast<NodeId>(h.healed().node_capacity());
-    return Action{Action::Kind::kInsert, kInvalidNode, std::move(alive), {}};
+    return Action{Action::Kind::kInsert, kInvalidNode, std::move(alive), {}, {}};
   }
-  Action a{Action::Kind::kDelete, pending_, {}, {}};
+  Action a{Action::Kind::kDelete, pending_, {}, {}, {}};
   pending_ = kInvalidNode;
   return a;
 }
@@ -131,6 +182,8 @@ std::unique_ptr<Adversary> make_adversary(const std::string& name) {
     return std::make_unique<BuildAndBurnAdversary>(std::stoi(name.substr(15)));
   if (name.rfind("batch:", 0) == 0)
     return std::make_unique<BatchDeleteAdversary>(std::stoi(name.substr(6)));
+  if (name.rfind("regions:", 0) == 0)
+    return std::make_unique<DisjointRegionsAdversary>(std::stoi(name.substr(8)));
   FG_CHECK_MSG(false, "unknown adversary name");
   return nullptr;
 }

@@ -23,6 +23,12 @@ struct Action {
   NodeId target = kInvalidNode;    ///< For single deletions.
   std::vector<NodeId> neighbors;   ///< For insertions.
   std::vector<NodeId> targets;     ///< For batched deletions (distinct, alive).
+  /// Optional region assignment of a batched deletion, aligned with
+  /// `targets`: the dirty-region id the sharded repair gave each victim.
+  /// Recorded by record_run against a Forgiving Graph healer (trace `r`
+  /// lines); replay re-derives the assignment and checks it matches, so a
+  /// divergence bisects to one region instead of a whole wave.
+  std::vector<int> regions;
 };
 
 /// Strategy interface: decide the next attack given full knowledge.
@@ -101,6 +107,25 @@ class BatchDeleteAdversary final : public Adversary {
   int floor_;
 };
 
+/// Deletes waves of up to `k` victims whose repairs are pairwise disjoint:
+/// no two victims share a G' edge or an affected Reconstruction Tree, so
+/// the wave decomposes into k independent dirty regions — the workload the
+/// sharded plan/commit pipeline heals concurrently. Falls back to healed-
+/// graph distance (> 2 hops) for healers without forest introspection.
+/// Stops when ≤ floor + k nodes remain; waves may be shorter than k when
+/// fewer disjoint victims exist.
+class DisjointRegionsAdversary final : public Adversary {
+ public:
+  explicit DisjointRegionsAdversary(int k, int floor = 2)
+      : k_(k), floor_(floor) {}
+  std::optional<Action> next(const Healer& h, Rng& rng) override;
+  std::string name() const override { return "regions"; }
+
+ private:
+  int k_;
+  int floor_;
+};
+
 /// Deletes a cut vertex of the healed network whenever one exists (the
 /// deletion that would disconnect a non-self-healing network), falling back
 /// to max degree: the omniscient adversary hunting for weak points.
@@ -138,7 +163,7 @@ class BuildAndBurnAdversary final : public Adversary {
 };
 
 /// Factory: "random-delete", "maxdeg-delete", "helper-load", "churn:<p>",
-/// "star-attack", "build-and-burn:<fanout>", "batch:<k>".
+/// "star-attack", "build-and-burn:<fanout>", "batch:<k>", "regions:<k>".
 std::unique_ptr<Adversary> make_adversary(const std::string& name);
 
 }  // namespace fg

@@ -1,7 +1,9 @@
 #include "fg/core/structural_core.h"
 
 #include <algorithm>
+#include <chrono>
 #include <istream>
+#include <numeric>
 #include <ostream>
 #include <sstream>
 
@@ -55,111 +57,205 @@ NodeId StructuralCore::insert_node(std::span<const NodeId> neighbors) {
   return id;
 }
 
-std::vector<VNodeId> StructuralCore::begin_deletion(
-    std::span<const NodeId> victims, RepairObserver* observer) {
-  last_repair_ = RepairStats{};
+namespace {
+
+/// Deterministic union-find over the wave's victims (indexed by wave
+/// position): the representative is always the smallest index, so the
+/// partition is independent of the union order.
+struct Dsu {
+  std::vector<int> parent;
+  explicit Dsu(int n) : parent(static_cast<size_t>(n)) {
+    std::iota(parent.begin(), parent.end(), 0);
+  }
+  int find(int x) {
+    while (parent[static_cast<size_t>(x)] != x) {
+      parent[static_cast<size_t>(x)] = parent[static_cast<size_t>(parent[static_cast<size_t>(x)])];
+      x = parent[static_cast<size_t>(x)];
+    }
+    return x;
+  }
+  void unite(int a, int b) {
+    a = find(a);
+    b = find(b);
+    if (a == b) return;
+    if (a > b) std::swap(a, b);
+    parent[static_cast<size_t>(b)] = a;
+  }
+};
+
+double ms_between(std::chrono::steady_clock::time_point a,
+                  std::chrono::steady_clock::time_point b) {
+  return std::chrono::duration<double, std::milli>(b - a).count();
+}
+
+}  // namespace
+
+DeletionAnalysis StructuralCore::analyze_deletion(std::span<const NodeId> victims,
+                                                  RegionSplit split) const {
   FG_CHECK_MSG(!victims.empty(), "empty deletion batch");
-  std::unordered_set<NodeId> victim_set;
-  victim_set.reserve(victims.size());
-  for (NodeId v : victims) {
+  DeletionAnalysis a;
+  a.split = split;
+  a.victims.assign(victims.begin(), victims.end());
+  const int k = static_cast<int>(victims.size());
+
+  std::unordered_map<NodeId, int> wave_index;
+  wave_index.reserve(victims.size());
+  a.victim_set.reserve(victims.size());
+  for (int i = 0; i < k; ++i) {
+    NodeId v = a.victims[static_cast<size_t>(i)];
     FG_CHECK_MSG(g_.is_alive(v), "deleting a dead or unknown processor");
-    FG_CHECK_MSG(victim_set.insert(v).second, "duplicate victim in batch");
-    last_repair_.deleted_degree_gprime += gprime_.degree(v);
+    FG_CHECK_MSG(a.victim_set.insert(v).second, "duplicate victim in batch");
+    wave_index[v] = i;
+    a.deleted_degree_gprime += gprime_.degree(v);
   }
 
-  // 1. The virtual nodes of the deleted processors: one real node per edge
-  //    to an already-deleted neighbor, plus every helper they simulate.
-  //    (A victim never has a slot keyed by another victim: slots only exist
-  //    for neighbors that were already dead before this repair.)
-  std::vector<VNodeId> dead_vnodes;
-  for (NodeId v : victims) {
+  // 1. The virtual nodes of the deleted processors — one real node per edge
+  //    to an already-deleted neighbor, plus every helper they simulate —
+  //    and the region partition. Two victims repair together iff they are
+  //    connected through shared RTs or a G' edge: a shared RT means their
+  //    debris merges, and a G' edge between two victims must be healed by
+  //    a structure spanning *both* neighborhoods or the network could
+  //    disconnect. (A victim never has a slot keyed by another victim:
+  //    slots only exist for neighbors that were already dead.)
+  Dsu dsu(k);
+  std::unordered_map<VNodeId, int> root_claim;  // RT root -> first victim index
+  for (int i = 0; i < k; ++i) {
+    NodeId v = a.victims[static_cast<size_t>(i)];
     for (const auto& [other, slot] : procs_[static_cast<size_t>(v)].slots) {
-      if (slot.leaf != kNoVNode) dead_vnodes.push_back(slot.leaf);
-      if (slot.helper != kNoVNode) dead_vnodes.push_back(slot.helper);
+      for (VNodeId h : {slot.leaf, slot.helper}) {
+        if (h == kNoVNode) continue;
+        a.dead_vnodes.insert(h);
+        auto [it, fresh] = root_claim.try_emplace(forest_.root_of(h), i);
+        if (!fresh) dsu.unite(i, it->second);
+      }
+    }
+    for (NodeId y : gprime_.neighbors(v)) {
+      auto it = wave_index.find(y);
+      if (it != wave_index.end()) dsu.unite(i, it->second);
     }
   }
-
-  // 2. The RTs broken by this repair. Large batches can break thousands of
-  // RTs, so dedup must not be linear per vnode.
-  std::vector<VNodeId> roots;
-  for (VNodeId h : dead_vnodes) roots.push_back(forest_.root_of(h));
-  std::sort(roots.begin(), roots.end());
-  roots.erase(std::unique(roots.begin(), roots.end()), roots.end());
-  last_repair_.affected_rts = static_cast<int>(roots.size());
-
-  // Membership is only ever tested on dirty nodes, so a set of the dead
-  // vnodes keeps the repair O(dirty region), not O(forest arena).
-  std::unordered_set<VNodeId> is_dead(dead_vnodes.begin(), dead_vnodes.end());
+  if (split == RegionSplit::kGlobal)
+    for (int i = 1; i < k; ++i) dsu.unite(0, i);
 
   // The dirty region: the dead vnodes and all their ancestors. A node is
   // clean — its subtree contains no dead vnode — iff it is not dirty, so
   // marking the ancestor chains (stopping at the first already-marked node)
   // replaces the full-subtree clean() sweep with O(dead * depth) work.
-  std::unordered_set<VNodeId> dirty;
-  for (VNodeId h : dead_vnodes) {
+  for (VNodeId h : a.dead_vnodes) {
     VNodeId x = h;
-    while (x != kNoVNode && dirty.insert(x).second) x = forest_.node(x).parent;
+    while (x != kNoVNode && a.dirty.insert(x).second) x = forest_.node(x).parent;
   }
 
-  // 3. Break each affected RT into its maximal clean perfect subtrees,
-  //    discarding dead and red nodes (the Strip of Section 4.1.1 and its
-  //    fragment variant of Figure 4).
-  std::vector<VNodeId> pieces;
-  for (VNodeId r : roots) collect_pieces(r, is_dead, dirty, observer, &pieces);
+  // 2. Materialize the regions in deterministic commit order: sorted by the
+  //    smallest victim id they contain (the shard ordering rule). Victims
+  //    keep their wave order within a region; affected roots are sorted
+  //    ascending, as the single-RT path always did.
+  std::vector<int> rep(static_cast<size_t>(k));
+  std::unordered_map<int, NodeId> min_victim;
+  for (int i = 0; i < k; ++i) {
+    rep[static_cast<size_t>(i)] = dsu.find(i);
+    NodeId v = a.victims[static_cast<size_t>(i)];
+    auto [it, fresh] = min_victim.try_emplace(rep[static_cast<size_t>(i)], v);
+    if (!fresh && v < it->second) it->second = v;
+  }
+  std::vector<std::pair<NodeId, int>> order;  // (min victim id, rep)
+  order.reserve(min_victim.size());
+  for (const auto& [r, mv] : min_victim) order.push_back({mv, r});
+  std::sort(order.begin(), order.end());
+  std::unordered_map<int, int> seed_of_rep;
+  for (size_t j = 0; j < order.size(); ++j) seed_of_rep[order[j].second] = static_cast<int>(j);
 
-  // 4. Surviving direct neighbors lose their edge to the victim and
-  //    contribute a fresh real node (a trivial one-node RT) for the edge
-  //    slot (y, v). An edge between two victims loses its image edge but
-  //    spawns no real node: both endpoints die, so nobody survives to
-  //    simulate one (exactly the state sequential deletions converge to).
-  for (NodeId v : victims) {
+  a.seeds.resize(order.size());
+  for (int i = 0; i < k; ++i)
+    a.seeds[static_cast<size_t>(seed_of_rep.at(rep[static_cast<size_t>(i)]))]
+        .victims.push_back(a.victims[static_cast<size_t>(i)]);
+  for (const auto& [root, i] : root_claim)
+    a.seeds[static_cast<size_t>(seed_of_rep.at(dsu.find(i)))].roots.push_back(root);
+  for (auto& seed : a.seeds) std::sort(seed.roots.begin(), seed.roots.end());
+  return a;
+}
+
+void StructuralCore::plan_region(const DeletionAnalysis& analysis, int region,
+                                 RegionPlan* out) const {
+  const DeletionAnalysis::Seed& seed = analysis.seeds[static_cast<size_t>(region)];
+  out->id = region;
+  out->victims = seed.victims;
+  out->roots = seed.roots;
+
+  // Break-phase script: the Strip of Section 4.1.1 over each affected RT,
+  // recorded instead of applied.
+  auto t0 = std::chrono::steady_clock::now();
+  for (VNodeId r : seed.roots) collect_events(r, analysis, out);
+
+  // Surviving direct neighbors lose their edge to the victim and contribute
+  // a fresh real node (a trivial one-node RT) for the edge slot (y, v). An
+  // edge between two victims spawns no real node: both endpoints die, so
+  // nobody survives to simulate one (exactly the state sequential deletions
+  // converge to).
+  for (NodeId v : seed.victims) {
     for (NodeId y : gprime_.neighbors(v)) {
-      if (!g_.is_alive(y)) continue;
-      if (victim_set.contains(y)) {
-        if (v < y) remove_image_edge(v, y);
-        continue;
-      }
-      remove_image_edge(v, y);
-      VNodeId leaf = forest_.make_leaf(y, v);
-      Slot& s = procs_[static_cast<size_t>(y)].slots[v];
-      FG_CHECK(s.leaf == kNoVNode && s.helper == kNoVNode);
-      s.leaf = leaf;
-      if (observer) observer->on_piece(leaf, y, kInvalidNode);
-      pieces.push_back(leaf);
-      ++last_repair_.new_leaves;
+      if (!g_.is_alive(y) || analysis.victim_set.contains(y)) continue;
+      out->fresh.push_back({y, v});
     }
   }
 
-  // 5. The processors themselves die. All of their image edges must be gone.
-  for (NodeId v : victims) {
-    procs_[static_cast<size_t>(v)].alive = false;
-    procs_[static_cast<size_t>(v)].slots.clear();
-    FG_CHECK_MSG(g_.degree(v) == 0, "image bookkeeping left edges on a deleted node");
-    g_.remove_node(v);
-  }
+  // Merge-plan input: detached pieces in event order, then fresh leaves —
+  // the same deterministic piece order the single-pass walk emitted.
+  out->pieces.reserve(out->events.size() + out->fresh.size());
+  for (const RegionPlan::Event& e : out->events)
+    if (e.is_piece) out->pieces.push_back(piece_info(e.h));
+  for (const RegionPlan::FreshLeaf& f : out->fresh)
+    out->pieces.push_back({1, slot_key(f.owner, f.dead)});
+  auto t1 = std::chrono::steady_clock::now();
 
-  // 6. The caller merges everything into the single new RT (Section 4.1.2).
-  last_repair_.pieces = static_cast<int>(pieces.size());
-  return pieces;
+  out->steps = haft::merge_plan(out->pieces);
+  auto t2 = std::chrono::steady_clock::now();
+  out->collect_ms = ms_between(t0, t1);
+  out->merge_ms = ms_between(t1, t2);
 }
 
-void StructuralCore::collect_pieces(VNodeId root,
-                                    const std::unordered_set<VNodeId>& is_dead_vnode,
-                                    const std::unordered_set<VNodeId>& dirty,
-                                    RepairObserver* observer,
-                                    std::vector<VNodeId>* out) {
-  auto dead = [&](VNodeId h) { return is_dead_vnode.contains(h); };
-  auto parent_owner_of = [&](VNodeId h) {
-    VNodeId p = forest_.node(h).parent;
-    return p == kNoVNode ? kInvalidNode : forest_.node(p).owner;
-  };
-  FG_CHECK_MSG(dirty.contains(root), "collecting from an unbroken RT");
+RepairPlan StructuralCore::plan_deletion(std::span<const NodeId> victims,
+                                         RegionSplit split) const {
+  auto t0 = std::chrono::steady_clock::now();
+  DeletionAnalysis analysis = analyze_deletion(victims, split);
+  auto t1 = std::chrono::steady_clock::now();
+
+  RepairPlan plan;
+  plan.regions.resize(analysis.seeds.size());
+  for (int r = 0; r < static_cast<int>(analysis.seeds.size()); ++r)
+    plan_region(analysis, r, &plan.regions[static_cast<size_t>(r)]);
+
+  finalize_plan(analysis, &plan);
+  plan.profile.partition_ms = ms_between(t0, t1);
+  return plan;
+}
+
+void StructuralCore::finalize_plan(const DeletionAnalysis& analysis, RepairPlan* plan) {
+  plan->split = analysis.split;
+  plan->victims = analysis.victims;
+  std::unordered_map<NodeId, int> region_of;
+  for (const RegionPlan& region : plan->regions) {
+    plan->profile.collect_ms += region.collect_ms;
+    plan->profile.merge_ms += region.merge_ms;
+    for (NodeId v : region.victims) region_of[v] = region.id;
+  }
+  plan->victim_region.clear();
+  plan->victim_region.reserve(plan->victims.size());
+  for (NodeId v : plan->victims) plan->victim_region.push_back(region_of.at(v));
+}
+
+void StructuralCore::collect_events(VNodeId root, const DeletionAnalysis& analysis,
+                                    RegionPlan* out) const {
+  FG_CHECK_MSG(analysis.dirty.contains(root), "collecting from an unbroken RT");
 
   // Explicit worklist, left child before right child before the node itself
   // — the same order as the natural recursion, so the piece sequence (and
   // any observer's message sequence) is unchanged. Only dirty nodes and the
   // right spines of their clean children are ever visited: a clean perfect
-  // subtree detaches at first touch, in O(1), without being entered.
+  // subtree becomes a piece at first touch, in O(1), without being entered.
+  // The recorded decisions stay valid at commit time because the commit
+  // only clears links and tombstones nodes of this very script — the
+  // leaf_count/height fields is_perfect reads are never touched.
   struct Frame {
     VNodeId h;
     VNodeId left = kNoVNode;
@@ -171,17 +267,13 @@ void StructuralCore::collect_pieces(VNodeId root,
   while (!stack.empty()) {
     Frame& f = stack.back();
     if (f.stage == 0) {
-      if (!dirty.contains(f.h) && forest_.is_perfect(f.h)) {
-        // Maximal clean perfect subtree: detach it whole as the next piece.
-        if (observer)
-          observer->on_piece(f.h, forest_.node(f.h).owner, parent_owner_of(f.h));
-        detach_vnode(f.h);
-        out->push_back(f.h);
+      if (!analysis.dirty.contains(f.h) && forest_.is_perfect(f.h)) {
+        // Maximal clean perfect subtree: the next piece, detached whole.
+        out->events.push_back({true, f.h});
         stack.pop_back();
         continue;
       }
-      // Dead, red, or clean-but-imperfect: decompose. Capture the child
-      // links now — removal below clears them.
+      // Dead, red, or clean-but-imperfect: decompose.
       const auto& n = forest_.node(f.h);
       f.left = n.left;
       f.right = n.right;
@@ -191,13 +283,98 @@ void StructuralCore::collect_pieces(VNodeId root,
       f.stage = 2;
       if (f.right != kNoVNode) stack.push_back({f.right});
     } else {
-      if (observer)
-        observer->on_teardown(f.h, forest_.node(f.h).owner, parent_owner_of(f.h));
-      if (!dead(f.h)) ++last_repair_.helpers_removed;  // red helper
-      remove_vnode(f.h);
+      out->events.push_back({false, f.h});
+      if (!analysis.dead_vnodes.contains(f.h)) ++out->red_teardowns;  // red helper
       stack.pop_back();
     }
   }
+}
+
+std::vector<std::vector<VNodeId>> StructuralCore::commit_break(const RepairPlan& plan,
+                                                               RepairObserver* observer) {
+  last_repair_ = RepairStats{};
+  last_repair_.regions = static_cast<int>(plan.regions.size());
+  std::unordered_set<NodeId> victim_set;
+  victim_set.reserve(plan.victims.size());
+  for (NodeId v : plan.victims) {
+    FG_CHECK_MSG(g_.is_alive(v), "committing a stale plan: victim already dead");
+    victim_set.insert(v);
+    last_repair_.deleted_degree_gprime += gprime_.degree(v);
+  }
+  auto parent_owner_of = [&](VNodeId h) {
+    VNodeId p = forest_.node(h).parent;
+    return p == kNoVNode ? kInvalidNode : forest_.node(p).owner;
+  };
+
+  std::vector<std::vector<VNodeId>> pieces(plan.regions.size());
+  for (const RegionPlan& region : plan.regions) {
+    if (observer) observer->on_region_begin(region.id);
+    std::vector<VNodeId>& out = pieces[static_cast<size_t>(region.id)];
+    out.reserve(region.pieces.size());
+    last_repair_.affected_rts += static_cast<int>(region.roots.size());
+
+    // Replay the break-phase script: detach pieces, tear down dead and red
+    // nodes (children always precede their parent in the script).
+    for (const RegionPlan::Event& e : region.events) {
+      if (e.is_piece) {
+        if (observer)
+          observer->on_piece(e.h, forest_.node(e.h).owner, parent_owner_of(e.h));
+        detach_vnode(e.h);
+        out.push_back(e.h);
+      } else {
+        if (observer)
+          observer->on_teardown(e.h, forest_.node(e.h).owner, parent_owner_of(e.h));
+        remove_vnode(e.h);
+      }
+    }
+    last_repair_.helpers_removed += region.red_teardowns;
+
+    // Spawn the anchor leaves and drop the victims' surviving image edges.
+    for (const RegionPlan::FreshLeaf& f : region.fresh) {
+      remove_image_edge(f.dead, f.owner);
+      VNodeId leaf = forest_.make_leaf(f.owner, f.dead);
+      Slot& s = procs_[static_cast<size_t>(f.owner)].slots[f.dead];
+      FG_CHECK(s.leaf == kNoVNode && s.helper == kNoVNode);
+      s.leaf = leaf;
+      if (observer) observer->on_piece(leaf, f.owner, kInvalidNode);
+      out.push_back(leaf);
+      ++last_repair_.new_leaves;
+    }
+
+    // Edges between two victims lose their image edge here; both endpoints
+    // are in this region (G'-adjacent victims always share one).
+    for (NodeId v : region.victims)
+      for (NodeId y : gprime_.neighbors(v))
+        if (v < y && victim_set.contains(y)) remove_image_edge(v, y);
+
+    last_repair_.pieces += static_cast<int>(out.size());
+    FG_CHECK_MSG(out.size() == region.pieces.size(),
+                 "committed piece set diverged from the plan");
+  }
+
+  // The processors themselves die. All of their image edges must be gone.
+  for (NodeId v : plan.victims) {
+    procs_[static_cast<size_t>(v)].alive = false;
+    procs_[static_cast<size_t>(v)].slots.clear();
+    FG_CHECK_MSG(g_.degree(v) == 0, "image bookkeeping left edges on a deleted node");
+    g_.remove_node(v);
+  }
+  return pieces;
+}
+
+VNodeId StructuralCore::commit_merge(const RegionPlan& region,
+                                     std::vector<VNodeId> pieces) {
+  FG_CHECK(pieces.size() == region.pieces.size());
+  if (pieces.empty()) return kNoVNode;
+  for (const auto& step : region.steps) {
+    VNodeId l = pieces[static_cast<size_t>(step.left)];
+    VNodeId r = pieces[static_cast<size_t>(step.right)];
+    VNodeId h = join_pieces(l, r);
+    FG_CHECK(static_cast<int>(pieces.size()) == step.result);
+    pieces.push_back(h);
+  }
+  finish_repair(pieces.back());
+  return pieces.back();
 }
 
 void StructuralCore::detach_vnode(VNodeId h) {
@@ -255,28 +432,7 @@ VNodeId StructuralCore::join_pieces(VNodeId left, VNodeId right) {
 }
 
 void StructuralCore::finish_repair(VNodeId final_root) {
-  last_repair_.final_rt_leaves = forest_.node(final_root).leaf_count;
-}
-
-VNodeId StructuralCore::merge_pieces(std::vector<VNodeId> pieces) {
-  FG_CHECK(!pieces.empty());
-  if (pieces.size() == 1) {
-    finish_repair(pieces.front());
-    return pieces.front();
-  }
-  std::vector<haft::PieceInfo> infos;
-  infos.reserve(pieces.size());
-  for (VNodeId h : pieces) infos.push_back(piece_info(h));
-  auto plan = haft::merge_plan(std::move(infos));
-  for (const auto& step : plan) {
-    VNodeId l = pieces[static_cast<size_t>(step.left)];
-    VNodeId r = pieces[static_cast<size_t>(step.right)];
-    VNodeId h = join_pieces(l, r);
-    FG_CHECK(static_cast<int>(pieces.size()) == step.result);
-    pieces.push_back(h);
-  }
-  finish_repair(pieces.back());
-  return pieces.back();
+  last_repair_.final_rt_leaves += forest_.node(final_root).leaf_count;
 }
 
 int StructuralCore::helper_count(NodeId v) const {
@@ -285,6 +441,17 @@ int StructuralCore::helper_count(NodeId v) const {
   for (const auto& [other, slot] : procs_[static_cast<size_t>(v)].slots)
     if (slot.helper != kNoVNode) ++count;
   return count;
+}
+
+std::vector<VNodeId> StructuralCore::slot_roots(NodeId v) const {
+  FG_CHECK(v >= 0 && static_cast<size_t>(v) < procs_.size());
+  std::vector<VNodeId> roots;
+  for (const auto& [other, slot] : procs_[static_cast<size_t>(v)].slots)
+    for (VNodeId h : {slot.leaf, slot.helper})
+      if (h != kNoVNode) roots.push_back(forest_.root_of(h));
+  std::sort(roots.begin(), roots.end());
+  roots.erase(std::unique(roots.begin(), roots.end()), roots.end());
+  return roots;
 }
 
 void StructuralCore::save(std::ostream& os) const {

@@ -19,22 +19,27 @@
 // the healed topology — cannot drift between the engines (docs/DESIGN.md
 // invariant 6).
 //
-// A deletion (or a batch of deletions — see begin_deletion) decomposes into
-// the paper's phases:
+// A deletion (or a batch of deletions) runs as a two-phase PLAN / COMMIT
+// pipeline (docs/DESIGN.md, "Plan/commit pipeline"):
 //
-//   1. begin_deletion: locate the victims' virtual nodes, break every
-//      affected RT into its maximal clean perfect subtrees ("pieces", the
-//      Strip of Section 4.1.1), spawn one fresh real node per surviving
-//      direct neighbor, and tombstone the victims. Piece collection walks an
-//      explicit iterative worklist over the *dirty* region (ancestors of the
-//      victims' virtual nodes) only, so its cost is O(d log^2 n), not
-//      O(RT size), and no call stack depth depends on the input.
-//   2. merge: reassemble the pieces into one RT. The centralized engine
-//      calls merge_pieces (the full deterministic ComputeHaft plan); the
-//      distributed engine computes its mode's plan itself and applies each
-//      join through join_pieces.
+//   1. plan_deletion (const, read-only): partition the wave into its
+//      *connected dirty regions* — victims and the RTs their virtual nodes
+//      live in, united whenever two victims share an RT or a G' edge — and
+//      produce one immutable RegionPlan per region: the exact break-phase
+//      event script (pieces and teardowns, the Strip of Section 4.1.1,
+//      walked over the dirty region only, so its cost is O(d log^2 n), not
+//      O(RT size)), the anchor leaves to spawn, and the deterministic
+//      k-way ComputeHaft merge steps. Planning never mutates the core, so
+//      disjoint regions can be planned concurrently (fg::ShardedForest);
+//      the resulting RepairPlan is a pure function of (core, victims).
+//   2. commit_break / commit_merge: apply the plan, single-threaded, in
+//      deterministic region order — break every region, spawn its anchor
+//      leaves, tombstone the victims, then reassemble each region's pieces
+//      into one RT per region. The centralized engine replays the planned
+//      merge steps (commit_merge); the distributed engine computes its
+//      mode's plan itself and applies each join through join_pieces.
 //
-// Invariants maintained after every insert_node/begin_deletion+merge
+// Invariants maintained after every insert_node / committed repair
 // (checked by validate(); numbering follows docs/DESIGN.md):
 //   I1. Slot consistency: processor u has a slot keyed by w iff (u, w) is a
 //       G' edge whose far endpoint w is dead; the slot always holds the real
@@ -62,17 +67,100 @@
 
 namespace fg::core {
 
-/// Structural statistics of the most recent repair (one deletion or one
-/// batch). Reset by begin_deletion; merge_pieces / join_pieces update the
-/// merge-side counters.
+/// How a batched deletion groups its repair. kPerRegion (the default) heals
+/// each connected dirty region into its own RT, which is what lets disjoint
+/// regions plan concurrently and repair in parallel rounds; kGlobal merges
+/// the whole wave into a single RT (the pre-sharding behaviour, kept for
+/// A/B measurement — bench/repair_path.cpp).
+enum class RegionSplit { kPerRegion, kGlobal };
+
+/// Structural statistics of the most recent committed repair (one deletion
+/// or one batch). Reset by commit_break; commit_merge / join_pieces /
+/// finish_repair update the merge-side counters. Counters sum over the
+/// wave's regions.
 struct RepairStats {
+  int regions = 0;          ///< Connected dirty regions healed (RTs built).
   int affected_rts = 0;     ///< RTs broken by the deletion(s).
   int pieces = 0;           ///< Perfect trees to merge (incl. new leaves).
   int new_leaves = 0;       ///< Fresh real nodes (alive direct neighbors).
   int helpers_created = 0;  ///< Helper nodes instantiated by the merge.
   int helpers_removed = 0;  ///< "Red" helpers discarded by stripping.
-  int64_t final_rt_leaves = 0;  ///< Leaves of the resulting RT (0 if none).
+  int64_t final_rt_leaves = 0;  ///< Total leaves of the resulting RTs.
   int deleted_degree_gprime = 0;  ///< Total G' degree of the victims.
+};
+
+/// The immutable repair recipe for one connected dirty region. Produced by
+/// the read-only planner, applied by the commit phase; a pure function of
+/// (core state, victim wave), so concurrent planning cannot change it (the
+/// Healer contract C4 determinism argument).
+struct RegionPlan {
+  /// One step of the break-phase script, in the deterministic left-to-right
+  /// walk order of the dirty region. A piece event detaches the maximal
+  /// clean perfect subtree rooted at `h`; a teardown removes the dead or
+  /// red node `h` (children already processed).
+  struct Event {
+    bool is_piece = false;
+    VNodeId h = kNoVNode;
+  };
+  /// A fresh real node to spawn on alive processor `owner` for its lost G'
+  /// edge to the dead processor `dead`.
+  struct FreshLeaf {
+    NodeId owner = kInvalidNode;
+    NodeId dead = kInvalidNode;
+  };
+
+  int id = 0;                      ///< Commit order (regions heal in id order).
+  std::vector<NodeId> victims;     ///< Region's victims, in wave order.
+  std::vector<VNodeId> roots;      ///< Affected RT roots, ascending.
+  std::vector<Event> events;       ///< Break-phase script.
+  std::vector<FreshLeaf> fresh;    ///< Anchor leaves, in (victim, neighbor) order.
+  /// Merge-plan input, aligned with the region's piece order: the detached
+  /// pieces in event order, then the fresh leaves.
+  std::vector<haft::PieceInfo> pieces;
+  /// Deterministic k-way ComputeHaft steps over `pieces` (piece numbering
+  /// as in haft::merge_plan).
+  std::vector<haft::MergeStep> steps;
+  int red_teardowns = 0;           ///< Red (helper) nodes the break removes.
+  double collect_ms = 0.0;         ///< Planner timings (informational only;
+  double merge_ms = 0.0;           ///< never part of the plan's identity).
+};
+
+/// The full plan for one deletion wave: the per-region recipes in
+/// deterministic commit order, plus wave-level bookkeeping.
+struct RepairPlan {
+  std::vector<NodeId> victims;     ///< The wave, in the order given.
+  std::vector<int> victim_region;  ///< Region id per victim, aligned above.
+  std::vector<RegionPlan> regions;
+  RegionSplit split = RegionSplit::kPerRegion;
+  /// Planner phase timings (milliseconds), for bench/repair_path.cpp:
+  /// region partitioning, dirty-region piece collection, merge-step
+  /// computation. Informational only — never part of the plan's identity.
+  struct Profile {
+    double partition_ms = 0.0;
+    double collect_ms = 0.0;
+    double merge_ms = 0.0;
+  } profile;
+};
+
+/// The region partition and shared lookup sets a plan is built from.
+/// Produced once per wave by analyze_deletion; plan_region then fills each
+/// RegionPlan independently (and, if the caller wishes, concurrently — it
+/// only ever reads the core and this analysis).
+struct DeletionAnalysis {
+  std::vector<NodeId> victims;              ///< Wave order.
+  std::unordered_set<NodeId> victim_set;
+  std::unordered_set<VNodeId> dead_vnodes;  ///< Victims' leaves and helpers.
+  std::unordered_set<VNodeId> dirty;        ///< Dead vnodes + ancestors.
+  RegionSplit split = RegionSplit::kPerRegion;
+  int deleted_degree_gprime = 0;
+  /// Per region: victims in wave order, affected roots ascending. Regions
+  /// are ordered by their smallest victim id — the deterministic commit
+  /// order (docs/DESIGN.md, "shard ordering rule").
+  struct Seed {
+    std::vector<NodeId> victims;
+    std::vector<VNodeId> roots;
+  };
+  std::vector<Seed> seeds;
 };
 
 /// Hooks a protocol layer installs to mirror structural mutations. The
@@ -83,6 +171,11 @@ struct RepairStats {
 class RepairObserver {
  public:
   virtual ~RepairObserver() = default;
+
+  /// The commit is about to apply region `region_id` (ids are the plan's
+  /// commit order); all following callbacks up to the next on_region_begin
+  /// belong to that region's independent repair.
+  virtual void on_region_begin(int region_id) { (void)region_id; }
 
   /// A maximal clean perfect subtree rooted at `root` (owned by `owner`) is
   /// about to detach and become the next piece (pieces are reported in
@@ -111,20 +204,47 @@ class StructuralCore {
   /// alive, no duplicates). Returns the new processor id.
   NodeId insert_node(std::span<const NodeId> neighbors);
 
-  /// Phases 1-5 of a repair for a *batch* of simultaneous deletions (a
-  /// single victim is the span of one). Victims must be alive and distinct.
-  /// Breaks every affected RT, spawns anchor leaves on the victims'
-  /// surviving direct neighbors (edges between two victims spawn none —
-  /// both endpoints die), tombstones the victims, and returns the pieces in
-  /// deterministic order. The caller must reassemble them into one RT via
-  /// merge_pieces or a sequence of join_pieces calls.
-  std::vector<VNodeId> begin_deletion(std::span<const NodeId> victims,
-                                      RepairObserver* observer = nullptr);
+  // --- Plan phase (read-only; safe to run concurrently per region). ------
 
-  /// Execute the global ComputeHaft plan over `pieces`, creating helpers
-  /// through the representative mechanism; returns the final root (or the
-  /// single piece). `pieces` must be non-empty.
-  VNodeId merge_pieces(std::vector<VNodeId> pieces);
+  /// Partition a wave of victims (alive, distinct) into its connected
+  /// dirty regions and build the shared lookup sets. With kGlobal the
+  /// whole wave becomes one region.
+  DeletionAnalysis analyze_deletion(std::span<const NodeId> victims,
+                                    RegionSplit split = RegionSplit::kPerRegion) const;
+
+  /// Fill `out` with the complete immutable recipe for region
+  /// `analysis.seeds[region]`. Pure read-only: callable from worker
+  /// threads on disjoint regions of the same analysis.
+  void plan_region(const DeletionAnalysis& analysis, int region, RegionPlan* out) const;
+
+  /// analyze_deletion + plan_region over every region, sequentially. The
+  /// returned plan is bit-identical to what any concurrent planner
+  /// produces (fg::ShardedForest fans the plan_region calls out).
+  RepairPlan plan_deletion(std::span<const NodeId> victims,
+                           RegionSplit split = RegionSplit::kPerRegion) const;
+
+  /// Fill the wave-level fields of a plan whose regions are already
+  /// populated (victims, victim_region, profile sums). Shared by
+  /// plan_deletion and concurrent planners.
+  static void finalize_plan(const DeletionAnalysis& analysis, RepairPlan* plan);
+
+  // --- Commit phase (single-threaded, deterministic region order). -------
+
+  /// Apply the break phase of the whole plan: per region in id order,
+  /// replay the event script (detach pieces, tear down dead and red
+  /// vnodes) and spawn the anchor leaves; then tombstone the victims.
+  /// Returns the materialized piece handles per region, aligned with
+  /// RegionPlan::pieces. Resets last_repair(). The plan must have been
+  /// produced by this core with no intervening mutation.
+  std::vector<std::vector<VNodeId>> commit_break(const RepairPlan& plan,
+                                                 RepairObserver* observer = nullptr);
+
+  /// Replay one region's planned merge steps over its materialized pieces
+  /// (from commit_break), creating helpers through the representative
+  /// mechanism; returns the region's final RT root (kNoVNode for a region
+  /// with no pieces). The centralized engine's merge; the distributed
+  /// engine drives join_pieces itself instead.
+  VNodeId commit_merge(const RegionPlan& region, std::vector<VNodeId> pieces);
 
   /// One structural join of two piece roots (Algorithm A.9): the left
   /// tree's representative simulates the new helper; the merged root
@@ -135,7 +255,8 @@ class StructuralCore {
   /// representative slot key (the paper's NodeID tie-break).
   haft::PieceInfo piece_info(VNodeId root) const;
 
-  /// Record the final RT of a repair in the stats (no-op structurally).
+  /// Record a region's final RT in the stats (no-op structurally);
+  /// counters accumulate across the wave's regions.
   void finish_repair(VNodeId final_root);
 
   const Graph& image() const { return g_; }
@@ -146,6 +267,11 @@ class StructuralCore {
 
   /// Number of helper nodes currently simulated by processor v.
   int helper_count(NodeId v) const;
+
+  /// Roots of the RTs holding v's slot vnodes — the RTs a deletion of v
+  /// would break. Sorted ascending, unique. (Adversaries and the region
+  /// tests use this to reason about wave disjointness.)
+  std::vector<VNodeId> slot_roots(NodeId v) const;
 
   /// Checkpoint the complete structure (G', liveness, virtual forest) to a
   /// line-oriented text stream; `load` restores an equivalent core. The
@@ -178,15 +304,14 @@ class StructuralCore {
   /// its parent edge.
   void remove_vnode(VNodeId h);
 
-  /// Break the RT rooted at `root`: remove the dead virtual nodes and all
-  /// "red" survivors, appending the maximal clean perfect subtrees
-  /// ("pieces") to `out`. Iterative worklist over the dirty region only;
-  /// `dirty` holds the dead vnodes and all their ancestors, so a node is
-  /// clean (subtree free of dead vnodes) iff it is not in `dirty`.
-  void collect_pieces(VNodeId root,
-                      const std::unordered_set<VNodeId>& is_dead_vnode,
-                      const std::unordered_set<VNodeId>& dirty,
-                      RepairObserver* observer, std::vector<VNodeId>* out);
+  /// The read-only twin of the commit walk: append the break-phase event
+  /// script of the RT rooted at `root` to `out`. Iterative worklist over
+  /// the dirty region only; `dirty` holds the dead vnodes and all their
+  /// ancestors, so a node is clean (subtree free of dead vnodes) iff it is
+  /// not in `dirty`. The commit replays the recorded events with exactly
+  /// the mutations the old single-pass walk performed, in the same order.
+  void collect_events(VNodeId root, const DeletionAnalysis& analysis,
+                      RegionPlan* out) const;
 
   Graph gprime_;
   Graph g_;

@@ -9,29 +9,39 @@ namespace fg::dist {
 
 // Every structural mutation below happens inside core::StructuralCore — the
 // same code path the centralized engine executes, so in kGlobalPlan mode the
-// piece order, the ComputeHaft plan, and therefore the healed topology are
-// bit-identical to fg::ForgivingGraph by construction (the invariant the
-// dist_equivalence and exhaustive_small suites pin down). What this file
-// adds is the protocol layer: a DagRecorder observer mirrors each repair's
-// structural work into a dependency DAG of messages, which is replayed
-// through the net::Network simulator — where all cost figures come from.
+// region partition, the piece order, the ComputeHaft plan, and therefore the
+// healed topology are bit-identical to fg::ForgivingGraph by construction
+// (the invariant the dist_equivalence and exhaustive_small suites pin down).
+// What this file adds is the protocol layer: a DagRecorder observer mirrors
+// each repair's structural work into a dependency DAG of messages — one
+// independent branch per dirty region — which is replayed through the
+// net::Network simulator, where all cost figures come from.
 
-// Mirrors core repair callbacks into teardown/detach messages. The core
-// reports every cross-RT structural change before applying it, in
-// deterministic order, so the message sequence is deterministic too.
+// Mirrors core repair callbacks into teardown/detach messages, bucketed per
+// region. The core reports every cross-RT structural change before applying
+// it, in deterministic order, so the message sequence is deterministic too.
 class DistForgivingGraph::DagRecorder final : public core::RepairObserver {
  public:
   explicit DagRecorder(DistForgivingGraph* d) : d_(d) {}
 
-  /// detach_msg per piece, aligned with the core's piece order.
-  const std::vector<int>& detach_msgs() const { return detach_msgs_; }
+  /// detach_msg per piece of one region, aligned with the core's per-region
+  /// piece order.
+  const std::vector<int>& detach_msgs(int region) const {
+    return detach_msgs_.at(static_cast<size_t>(region));
+  }
+
+  void on_region_begin(int region_id) override {
+    FG_CHECK(region_id == static_cast<int>(detach_msgs_.size()));
+    detach_msgs_.emplace_back();
+  }
 
   void on_piece(VNodeId /*root*/, NodeId owner, NodeId parent_owner) override {
     int msg = -1;
     if (parent_owner != kInvalidNode && parent_owner != owner &&
         !d_->deleting_.contains(parent_owner) && !d_->deleting_.contains(owner))
       msg = d_->add_msg(parent_owner, owner, 2, {});  // "you are detached"
-    detach_msgs_.push_back(msg);
+    FG_CHECK_MSG(!detach_msgs_.empty(), "piece reported outside a region");
+    detach_msgs_.back().push_back(msg);
   }
 
   void on_teardown(VNodeId /*h*/, NodeId owner, NodeId parent_owner) override {
@@ -42,7 +52,7 @@ class DistForgivingGraph::DagRecorder final : public core::RepairObserver {
 
  private:
   DistForgivingGraph* d_;
-  std::vector<int> detach_msgs_;
+  std::vector<std::vector<int>> detach_msgs_;
 };
 
 DistForgivingGraph::DistForgivingGraph(const Graph& g0, MergeMode mode)
@@ -61,10 +71,10 @@ int DistForgivingGraph::add_msg(NodeId from, NodeId to, int words,
   return static_cast<int>(msgs_.size() - 1);
 }
 
-std::vector<int> DistForgivingGraph::know_deps(NodeId u) const {
-  if (u == coordinator_) return report_msgs_;
-  auto it = know_.find(u);
-  FG_CHECK_MSG(it != know_.end(), "processor acts before learning the plan");
+std::vector<int> DistForgivingGraph::know_deps(const RegionDag& dag, NodeId u) const {
+  if (u == dag.coordinator) return dag.report_msgs;
+  auto it = dag.know.find(u);
+  FG_CHECK_MSG(it != dag.know.end(), "processor acts before learning the plan");
   return {it->second};
 }
 
@@ -117,43 +127,50 @@ NodeId DistForgivingGraph::insert(std::span<const NodeId> neighbors) {
 
 void DistForgivingGraph::delete_batch(std::span<const NodeId> victims) {
   msgs_.clear();
-  report_msgs_.clear();
-  know_.clear();
-  coordinator_ = kInvalidNode;
   deleting_.clear();
   deleting_.insert(victims.begin(), victims.end());
   net_.stats().reset();
   last_cost_ = RepairCost{};
 
-  // Phases 1-5 run in the shared core; the recorder turns each structural
-  // change into the teardown/detach messages of the repair DAG.
+  // Plan (read-only, shared core), then commit the break phase; the
+  // recorder turns each structural change into the teardown/detach
+  // messages of the repair DAG, bucketed per region.
+  core::RepairPlan plan = core_.plan_deletion(victims, split_);
   DagRecorder recorder(this);
-  std::vector<VNodeId> roots = core_.begin_deletion(victims, &recorder);
+  std::vector<std::vector<VNodeId>> region_pieces = core_.commit_break(plan, &recorder);
   const core::RepairStats& rs = core_.last_repair();
   last_cost_.deleted_degree = rs.deleted_degree_gprime;
   last_cost_.anchors = rs.new_leaves;
   last_cost_.pieces = rs.pieces;
+  last_cost_.regions = static_cast<int>(plan.regions.size());
 
-  FG_CHECK(recorder.detach_msgs().size() == roots.size());
-  std::vector<PieceCtx> pieces;
-  pieces.reserve(roots.size());
-  for (size_t i = 0; i < roots.size(); ++i)
-    pieces.push_back(PieceCtx{roots[i], recorder.detach_msgs()[i]});
+  // Each region merges through its own independent DAG branch: its own
+  // coordinator, report wave, and plan knowledge. Branches share no
+  // dependencies, so when the wave's regions are disjoint the simulator
+  // counts their repairs in parallel rounds.
+  for (const core::RegionPlan& region : plan.regions) {
+    const std::vector<VNodeId>& roots = region_pieces[static_cast<size_t>(region.id)];
+    const std::vector<int>& detach = recorder.detach_msgs(region.id);
+    FG_CHECK(detach.size() == roots.size());
+    std::vector<PieceCtx> pieces;
+    pieces.reserve(roots.size());
+    for (size_t i = 0; i < roots.size(); ++i)
+      pieces.push_back(PieceCtx{roots[i], detach[i]});
 
-  std::vector<NodeId> participants;
-  for (const PieceCtx& p : pieces) participants.push_back(piece_owner(p));
-  std::sort(participants.begin(), participants.end());
-  participants.erase(std::unique(participants.begin(), participants.end()),
-                     participants.end());
-  last_cost_.bt_edges =
-      participants.empty() ? 0 : static_cast<int>(participants.size()) - 1;
+    std::vector<NodeId> participants;
+    for (const PieceCtx& p : pieces) participants.push_back(piece_owner(p));
+    std::sort(participants.begin(), participants.end());
+    participants.erase(std::unique(participants.begin(), participants.end()),
+                       participants.end());
+    last_cost_.bt_edges +=
+        participants.empty() ? 0 : static_cast<int>(participants.size()) - 1;
 
-  // Phase 6: merge everything into the single new RT.
-  if (!pieces.empty()) {
+    if (pieces.empty()) continue;
+    RegionDag dag;
     if (mode_ == MergeMode::kGlobalPlan)
-      merge_global(std::move(pieces), participants);
+      merge_global(dag, region, std::move(pieces), participants);
     else
-      merge_stage_wise(std::move(pieces), participants);
+      merge_stage_wise(dag, std::move(pieces), participants);
   }
 
   run_dag();
@@ -171,12 +188,13 @@ void DistForgivingGraph::delete_batch(std::span<const NodeId> victims) {
 }
 
 // ---------------------------------------------------------------------------
-// kGlobalPlan: report -> plan broadcast -> parallel execution.
+// kGlobalPlan: report -> plan broadcast -> parallel execution (per region).
 
-void DistForgivingGraph::merge_global(std::vector<PieceCtx> pieces,
+void DistForgivingGraph::merge_global(RegionDag& dag, const core::RegionPlan& region,
+                                      std::vector<PieceCtx> pieces,
                                       const std::vector<NodeId>& participants) {
   FG_CHECK(!pieces.empty());
-  coordinator_ = participants.front();
+  dag.coordinator = participants.front();
 
   // Reports: every participant sends its piece list straight to the
   // coordinator (8 words per piece + header). The coordinator's own pieces
@@ -189,13 +207,13 @@ void DistForgivingGraph::merge_global(std::vector<PieceCtx> pieces,
     if (p.detach_msg >= 0) detach_by_owner[o].push_back(p.detach_msg);
   }
   for (NodeId m : participants) {
-    if (m == coordinator_) {
-      for (int d : detach_by_owner[m]) report_msgs_.push_back(d);
+    if (m == dag.coordinator) {
+      for (int d : detach_by_owner[m]) dag.report_msgs.push_back(d);
       continue;
     }
-    int rep = add_msg(m, coordinator_, 8 * count_by_owner[m] + 1,
+    int rep = add_msg(m, dag.coordinator, 8 * count_by_owner[m] + 1,
                       detach_by_owner[m]);
-    report_msgs_.push_back(rep);
+    dag.report_msgs.push_back(rep);
   }
 
   if (pieces.size() == 1) {
@@ -203,42 +221,39 @@ void DistForgivingGraph::merge_global(std::vector<PieceCtx> pieces,
     return;  // single piece: nothing to merge
   }
 
-  // Plan broadcast down the participant binary tree (heap layout). The plan
-  // names every piece, so the message is O(pieces) words — the price
-  // kGlobalPlan pays for O(log d + log n) rounds.
+  // Plan broadcast down the region's participant binary tree (heap
+  // layout). The plan names every piece, so the message is O(pieces) words
+  // — the price kGlobalPlan pays for O(log d + log n) rounds.
   int bcast_words = 8 * static_cast<int>(pieces.size()) + 1;
   std::vector<int> bcast(participants.size(), -1);
   for (size_t i = 0; i < participants.size(); ++i) {
     for (size_t c : {2 * i + 1, 2 * i + 2}) {
       if (c >= participants.size()) continue;
-      std::vector<int> deps = i == 0 ? report_msgs_ : std::vector<int>{bcast[i]};
+      std::vector<int> deps = i == 0 ? dag.report_msgs : std::vector<int>{bcast[i]};
       bcast[c] = add_msg(participants[i], participants[c], bcast_words,
                          std::move(deps));
-      know_[participants[c]] = bcast[c];
+      dag.know[participants[c]] = bcast[c];
     }
   }
 
-  // The deterministic ComputeHaft plan over the deterministic piece order —
-  // the same plan the centralized engine executes, hence the identical
-  // topology. Execution is fully parallel: every helper owner knows the
-  // whole plan and links its join's children without waiting for others.
-  std::vector<haft::PieceInfo> infos;
-  infos.reserve(pieces.size());
-  for (const PieceCtx& p : pieces) infos.push_back(core_.piece_info(p.root));
-  auto plan = haft::merge_plan(std::move(infos));
-  for (const auto& step : plan) {
+  // The deterministic ComputeHaft steps straight from the region's plan —
+  // literally the object the centralized engine's commit_merge replays,
+  // hence the identical topology (and no second planning pass). Execution
+  // is fully parallel: every helper owner knows the whole plan and links
+  // its join's children without waiting.
+  for (const auto& step : region.steps) {
     const PieceCtx& l = pieces[static_cast<size_t>(step.left)];
     const PieceCtx& r = pieces[static_cast<size_t>(step.right)];
     NodeId lo = piece_owner(l);
     NodeId ro = piece_owner(r);
     NodeId u = core_.forest().node(core_.forest().node(l.root).rep).owner;
-    if (u != coordinator_ && !know_.contains(u)) {
+    if (u != dag.coordinator && !dag.know.contains(u)) {
       // The left root's owner forwards the relevant plan excerpt to the
       // representative that must act (it is a leaf owner, not necessarily a
       // participant).
-      know_[u] = add_msg(lo, u, 4, know_deps(lo));
+      dag.know[u] = add_msg(lo, u, 4, know_deps(dag, lo));
     }
-    std::vector<int> kd = know_deps(u);
+    std::vector<int> kd = know_deps(dag, u);
     if (u != lo) add_msg(u, lo, 2, kd);
     if (u != ro) add_msg(u, ro, 2, kd);
     PieceCtx res = join_pieces(l, r);
@@ -249,12 +264,13 @@ void DistForgivingGraph::merge_global(std::vector<PieceCtx> pieces,
 }
 
 // ---------------------------------------------------------------------------
-// kStageWise: BottomupRTMerge — carry-merge at every aggregation stage.
+// kStageWise: BottomupRTMerge — carry-merge at every aggregation stage,
+// per region.
 
-void DistForgivingGraph::merge_stage_wise(std::vector<PieceCtx> pieces,
+void DistForgivingGraph::merge_stage_wise(RegionDag& dag, std::vector<PieceCtx> pieces,
                                           const std::vector<NodeId>& participants) {
   FG_CHECK(!pieces.empty());
-  coordinator_ = participants.front();
+  dag.coordinator = participants.front();
   if (pieces.size() == 1) {
     core_.finish_repair(pieces.front().root);
     return;

@@ -20,28 +20,34 @@
 //     net::DeliveryPolicy, with arbitrary per-message delay and order. The
 //     protocol must tolerate this; only `rounds` may change.
 //
-// Repair pipeline for a deletion of v with G'-degree d:
+// A batched deletion splits into its connected dirty regions (the plan
+// phase of the shared core); each region repairs through an *independent
+// branch* of the message DAG — its own coordinator, report wave, merge —
+// so the measured `rounds` is the maximum over regions, not their sum:
+// Lemma-4 round counting reflects the true parallelism of disjoint waves.
+// Per region, the repair pipeline for deleted degree d is:
 //   1. Teardown   — owners of dead and red virtual nodes notify their tree
 //                   neighbors; maximal clean perfect subtrees ("pieces")
 //                   detach. O(d log n) messages of O(1) words.
 //   2. Report     — every participant (anchor or piece owner) reports its
-//                   piece list to the coordinator (least-id participant).
+//                   piece list to the region coordinator (least-id
+//                   participant).
 //   3. Merge      — mode-dependent, see MergeMode below.
 //   4. Execute    — each helper's owner (the representative of the join's
 //                   left subtree, Algorithm A.9) links the join's children.
 //
 // Two merge modes:
-//   * kGlobalPlan: the coordinator computes the full deterministic
+//   * kGlobalPlan: the region coordinator computes the full deterministic
 //     ComputeHaft plan (haft::merge_plan) and broadcasts it down a binary
-//     tree over the participants. Every helper owner then acts in parallel,
-//     giving O(log d + log n) rounds — within the paper's O(log d log n)
-//     budget — at the price of O(pieces)-word plan messages. Because the
-//     plan is exactly the one the centralized engine executes — over the
-//     piece sequence the shared core emits — the healed topology is
-//     bit-identical to fg::ForgivingGraph under every adversarial schedule
-//     and every delivery policy.
+//     tree over the region's participants. Every helper owner then acts in
+//     parallel, giving O(log d + log n) rounds — within the paper's
+//     O(log d log n) budget — at the price of O(pieces)-word plan messages.
+//     Because the plan is exactly the one the centralized engine executes —
+//     over the piece sequence the shared core emits, region by region — the
+//     healed topology is bit-identical to fg::ForgivingGraph under every
+//     adversarial schedule and every delivery policy.
 //   * kStageWise: the paper-faithful BottomupRTMerge. Piece lists climb the
-//     participant tree; at each stage equal-sized trees are joined
+//     region's participant tree; at each stage equal-sized trees are joined
 //     immediately (haft::carry_plan), so every list in flight has pairwise
 //     distinct sizes and every message stays at O(log n) words. The final
 //     association may differ from the centralized engine's, but the result
@@ -71,12 +77,14 @@ enum class MergeMode {
 };
 
 /// Cost sheet of the most recent repair (the quantities Lemma 4 bounds).
-/// For a batched repair, `deleted_degree` sums over the victims.
+/// For a batched repair, `deleted_degree` sums over the victims and
+/// `rounds` is the max over the regions' independent DAG branches.
 struct RepairCost {
   int deleted_degree = 0;  ///< G' degree of the victim(s).
   int anchors = 0;         ///< Alive direct G'-neighbors of the victim(s).
   int pieces = 0;          ///< Perfect trees merged (incl. fresh leaves).
-  int bt_edges = 0;        ///< Edges of the participant aggregation tree.
+  int regions = 0;         ///< Independent DAG branches (dirty regions).
+  int bt_edges = 0;        ///< Edges of the participant aggregation trees.
   int64_t messages = 0;    ///< Messages sent during the repair.
   int64_t words = 0;       ///< Total payload words sent.
   int rounds = 0;          ///< Rounds to quiescence.
@@ -107,9 +115,9 @@ class DistForgivingGraph {
   void remove(NodeId v) { delete_batch({&v, 1}); }
 
   /// Batched adversarial deletion: all of `victims` fail simultaneously;
-  /// one detection round, one repair DAG, one merged plan. Structural
-  /// semantics match ForgivingGraph::delete_batch bit-for-bit in
-  /// kGlobalPlan mode.
+  /// one detection round, one repair DAG with an independent branch per
+  /// connected dirty region. Structural semantics match
+  /// ForgivingGraph::delete_batch bit-for-bit in kGlobalPlan mode.
   void delete_batch(std::span<const NodeId> victims);
 
   /// The healed network G (homomorphic image of G' + virtual forest).
@@ -131,6 +139,12 @@ class DistForgivingGraph {
   void set_delivery_policy(const net::DeliveryPolicy& policy) {
     net_.set_policy(policy);
   }
+
+  /// Per-region healing (default) vs the pre-sharding single wave-wide RT;
+  /// mirrors ForgivingGraph::set_region_split so the engines stay
+  /// comparable in either mode.
+  void set_region_split(core::RegionSplit split) { split_ = split; }
+  core::RegionSplit region_split() const { return split_; }
 
   const VirtualForest& forest() const { return core_.forest(); }
   MergeMode mode() const { return mode_; }
@@ -158,8 +172,20 @@ class DistForgivingGraph {
     int detach_msg = -1;
   };
 
+  /// The DAG branch of one region's merge: its coordinator, the report
+  /// messages the coordinator waits on, and the plan-knowledge event per
+  /// participating processor. A processor appearing in several regions
+  /// holds independent knowledge per region — the branches never share
+  /// dependencies, which is what makes the measured rounds the max, not
+  /// the sum, over regions.
+  struct RegionDag {
+    NodeId coordinator = kInvalidNode;
+    std::vector<int> report_msgs;
+    std::unordered_map<NodeId, int> know;
+  };
+
   /// The core observer that mirrors the repair's structural mutations into
-  /// teardown/detach messages of the DAG.
+  /// teardown/detach messages of the DAG, bucketed per region.
   class DagRecorder;
 
   NodeId piece_owner(const PieceCtx& p) const {
@@ -173,16 +199,18 @@ class DistForgivingGraph {
 
   // --- DAG construction helpers (see dist_forgiving_graph.cpp).
   int add_msg(NodeId from, NodeId to, int words, std::vector<int> deps);
-  std::vector<int> know_deps(NodeId u) const;
-  void merge_global(std::vector<PieceCtx> pieces,
+  std::vector<int> know_deps(const RegionDag& dag, NodeId u) const;
+  void merge_global(RegionDag& dag, const core::RegionPlan& region,
+                    std::vector<PieceCtx> pieces,
                     const std::vector<NodeId>& participants);
-  void merge_stage_wise(std::vector<PieceCtx> pieces,
+  void merge_stage_wise(RegionDag& dag, std::vector<PieceCtx> pieces,
                         const std::vector<NodeId>& participants);
   void run_dag();
   void dispatch_msg(int i);
   void on_delivered(int i);
 
   MergeMode mode_ = MergeMode::kGlobalPlan;
+  core::RegionSplit split_ = core::RegionSplit::kPerRegion;
   core::StructuralCore core_;
 
   net::Network net_;
@@ -193,10 +221,7 @@ class DistForgivingGraph {
   std::vector<DagMsg> msgs_;
   std::vector<int> unmet_;
   std::vector<std::vector<int>> dependents_;
-  std::vector<int> report_msgs_;              ///< What the coordinator waits on.
-  NodeId coordinator_ = kInvalidNode;
   std::unordered_set<NodeId> deleting_;       ///< Victims of the repair in flight.
-  std::unordered_map<NodeId, int> know_;      ///< Plan-knowledge event per node.
 };
 
 }  // namespace fg::dist

@@ -6,12 +6,18 @@
 
 namespace fg {
 
-void ForgivingGraph::delete_batch(std::span<const NodeId> victims) {
+void ForgivingGraph::commit_delete_batch(const core::RepairPlan& plan) {
   // The core performs the whole structural repair; the centralized engine
-  // applies the merge directly as one atomic step (no observer — there is
-  // no protocol layer to mirror the mutations into).
-  std::vector<VNodeId> pieces = core_.begin_deletion(victims);
-  if (!pieces.empty()) core_.merge_pieces(std::move(pieces));
+  // applies the break and each region's planned merge directly as one
+  // atomic step (no observer — there is no protocol layer to mirror the
+  // mutations into). Regions commit in plan order: the shard ordering rule
+  // that keeps sharded planning bit-identical to sequential planning.
+  std::vector<std::vector<VNodeId>> pieces = core_.commit_break(plan);
+  std::vector<VNodeId> region_roots(plan.regions.size(), kNoVNode);
+  for (const core::RegionPlan& region : plan.regions)
+    region_roots[static_cast<size_t>(region.id)] =
+        core_.commit_merge(region, std::move(pieces[static_cast<size_t>(region.id)]));
+  shards_.note_commit(plan, region_roots);
 }
 
 ForgivingGraph ForgivingGraph::load(std::istream& is) {

@@ -10,6 +10,12 @@
 // topologies are bit-identical by construction (docs/DESIGN.md invariant 6;
 // pinned by tests/dist_equivalence_test.cpp and exhaustive_small_test.cpp).
 //
+// Every deletion runs the two-phase plan/commit pipeline: a read-only
+// RepairPlan per wave — one RegionPlan per connected dirty region — then a
+// single-threaded commit in deterministic region order. The plan side can
+// fan out over ShardedForest workers (set_shard_workers); the commit order
+// rule keeps the repair bit-identical at any worker count (contract C4).
+//
 // The invariants maintained after every insert/remove (I1-I5, checked by
 // validate()) are documented on core::StructuralCore.
 #pragma once
@@ -20,6 +26,7 @@
 #include <vector>
 
 #include "fg/core/structural_core.h"
+#include "fg/sharded_forest.h"
 #include "fg/virtual_forest.h"
 #include "graph/graph.h"
 
@@ -45,12 +52,49 @@ class ForgivingGraph {
   void remove(NodeId v) { delete_batch({&v, 1}); }
 
   /// Batched adversarial deletion: all of `victims` (alive, distinct) die
-  /// simultaneously and one repair round heals the network with a single
-  /// merged plan — every broken RT plus every fresh anchor leaf is merged
-  /// into one new RT. Equivalent to sequential deletions with respect to
-  /// invariants I1-I5 and the Theorem 1 degree/stretch bounds, at a
-  /// fraction of the repair cost under heavy churn.
-  void delete_batch(std::span<const NodeId> victims);
+  /// simultaneously and one repair round heals the network — one merged
+  /// plan and one new RT per connected dirty region (see region_split to
+  /// fall back to a single wave-wide RT). Equivalent to sequential
+  /// deletions with respect to invariants I1-I5 and the Theorem 1
+  /// degree/stretch bounds, at a fraction of the repair cost under heavy
+  /// churn.
+  void delete_batch(std::span<const NodeId> victims) {
+    commit_delete_batch(plan_delete_batch(victims));
+  }
+
+  /// Plan phase only: the immutable per-region repair recipe for a wave
+  /// (read-only; planned concurrently when shard_workers > 1).
+  core::RepairPlan plan_delete_batch(std::span<const NodeId> victims) const {
+    return shards_.plan(core_, victims, split_);
+  }
+
+  /// Commit phase only: apply a plan produced by plan_delete_batch with no
+  /// intervening mutation. Single-threaded, deterministic region order.
+  void commit_delete_batch(const core::RepairPlan& plan);
+
+  /// Worker threads for the plan phase (1 = plan inline). Any value
+  /// produces the identical repair (contract C4).
+  void set_shard_workers(int n) { shards_.set_workers(n); }
+  int shard_workers() const { return shards_.workers(); }
+
+  /// Per-region healing (default) vs the pre-sharding single wave-wide RT.
+  void set_region_split(core::RegionSplit split) { split_ = split; }
+  core::RegionSplit region_split() const { return split_; }
+
+  /// Shard bookkeeping: region ids of the last wave, region of a root.
+  const ShardedForest& shards() const { return shards_; }
+
+  /// Victim -> region ids of the most recent delete_batch, aligned with
+  /// the victim order passed in (recorded by trace `r` lines).
+  const std::vector<int>& last_region_assignment() const {
+    return shards_.last_assignment();
+  }
+
+  /// Roots of the RTs a deletion of `v` would break (sorted, unique).
+  /// Disjoint-region adversaries probe this to build disjoint waves.
+  std::vector<VNodeId> affected_roots(NodeId v) const {
+    return core_.slot_roots(v);
+  }
 
   /// The actual healed network G.
   const Graph& healed() const { return core_.image(); }
@@ -89,6 +133,8 @@ class ForgivingGraph {
   ForgivingGraph() = default;  // for load()
 
   core::StructuralCore core_;
+  ShardedForest shards_;
+  core::RegionSplit split_ = core::RegionSplit::kPerRegion;
 };
 
 }  // namespace fg

@@ -1,0 +1,70 @@
+#include "fg/sharded_forest.h"
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <thread>
+
+#include "util/check.h"
+
+namespace fg {
+
+void ShardedForest::set_workers(int n) {
+  FG_CHECK_MSG(n >= 1, "worker count must be at least 1");
+  workers_ = n;
+}
+
+core::RepairPlan ShardedForest::plan(const core::StructuralCore& core,
+                                     std::span<const NodeId> victims,
+                                     core::RegionSplit split) const {
+  auto t0 = std::chrono::steady_clock::now();
+  core::DeletionAnalysis analysis = core.analyze_deletion(victims, split);
+  auto t1 = std::chrono::steady_clock::now();
+
+  core::RepairPlan plan;
+  plan.regions.resize(analysis.seeds.size());
+  const int regions = static_cast<int>(analysis.seeds.size());
+  const int fanout = std::min(workers_, regions);
+  if (fanout <= 1) {
+    for (int r = 0; r < regions; ++r) core.plan_region(analysis, r, &plan.regions[static_cast<size_t>(r)]);
+  } else {
+    // Every worker pulls the next unplanned region off a shared counter and
+    // writes into its own pre-sized slot: no two threads ever touch the
+    // same RegionPlan, and plan_region only reads the core, so the result
+    // is the sequential plan regardless of scheduling.
+    std::atomic<int> next{0};
+    auto work = [&] {
+      for (int r = next.fetch_add(1); r < regions; r = next.fetch_add(1))
+        core.plan_region(analysis, r, &plan.regions[static_cast<size_t>(r)]);
+    };
+    std::vector<std::thread> pool;
+    pool.reserve(static_cast<size_t>(fanout));
+    for (int t = 0; t < fanout; ++t) pool.emplace_back(work);
+    for (std::thread& t : pool) t.join();
+  }
+
+  core::StructuralCore::finalize_plan(analysis, &plan);
+  plan.profile.partition_ms =
+      std::chrono::duration<double, std::milli>(t1 - t0).count();
+  return plan;
+}
+
+void ShardedForest::note_commit(const core::RepairPlan& plan,
+                                std::span<const VNodeId> region_roots) {
+  FG_CHECK(region_roots.size() == plan.regions.size());
+  // RTs the wave broke up no longer exist; drop their stale assignments so
+  // region_of_root never reports a region for a destroyed root.
+  for (const core::RegionPlan& region : plan.regions)
+    for (VNodeId r : region.roots) region_of_root_.erase(r);
+  for (size_t i = 0; i < region_roots.size(); ++i)
+    if (region_roots[i] != kNoVNode)
+      region_of_root_[region_roots[i]] = plan.regions[i].id;
+  last_assignment_ = plan.victim_region;
+}
+
+int ShardedForest::region_of_root(VNodeId root) const {
+  auto it = region_of_root_.find(root);
+  return it == region_of_root_.end() ? -1 : it->second;
+}
+
+}  // namespace fg

@@ -1,0 +1,73 @@
+// Sharding layer over the virtual forest (docs/DESIGN.md, "Plan/commit
+// pipeline and the sharded forest").
+//
+// A deletion wave decomposes into *connected dirty regions*: victims and
+// the RTs their virtual nodes live in, united whenever two victims share an
+// RT or a G' edge. The paper's repair is inherently local — every broken
+// RT is rebuilt from its own neighborhood — so disjoint regions heal
+// independently: their plans read disjoint parts of the structure and
+// their commits build disjoint RTs.
+//
+// ShardedForest exploits that locality on the *plan* side: it partitions a
+// wave (core::StructuralCore::analyze_deletion), then fans the read-only
+// per-region planning out over a small worker pool. The *commit* side
+// stays single-threaded and in deterministic region order (ascending
+// smallest-victim id — the shard ordering rule), which is what keeps the
+// Healer contract C4: a sharded-concurrent repair replays bit-identically
+// to a single-threaded one, because each RegionPlan is a pure function of
+// (core, victims) and the workers only decide *who* computes it, never
+// *what* it contains (pinned by tests/shard_determinism_test.cpp).
+//
+// It also remembers, per committed wave, which region every victim and
+// every newly built RT belonged to — the assignment trace `r` lines record
+// so a replay divergence can be localized to one region.
+#pragma once
+
+#include <span>
+#include <unordered_map>
+#include <vector>
+
+#include "fg/core/structural_core.h"
+#include "fg/virtual_forest.h"
+
+namespace fg {
+
+/// Region partitioning + concurrent planning + shard bookkeeping.
+class ShardedForest {
+ public:
+  explicit ShardedForest(int workers = 1) { set_workers(workers); }
+
+  /// Worker threads used to plan disjoint regions concurrently: 1 plans
+  /// inline on the calling thread; n > 1 spawns up to min(n, regions)
+  /// workers per wave. Any value yields the identical plan.
+  void set_workers(int n);
+  int workers() const { return workers_; }
+
+  /// Plan a deletion wave against `core`: bit-identical to
+  /// core.plan_deletion(victims, split) at every worker count.
+  core::RepairPlan plan(const core::StructuralCore& core,
+                        std::span<const NodeId> victims,
+                        core::RegionSplit split = core::RegionSplit::kPerRegion) const;
+
+  /// Record a committed plan: the wave's victim -> region assignment and
+  /// each final RT root's region id. `region_roots` is aligned with
+  /// plan.regions (kNoVNode for a region that produced no RT).
+  void note_commit(const core::RepairPlan& plan,
+                   std::span<const VNodeId> region_roots);
+
+  /// Region id the wave that created `root` assigned to it, or -1 if this
+  /// root was not a final RT of a committed wave (or has since been broken
+  /// up by a later repair).
+  int region_of_root(VNodeId root) const;
+
+  /// Victim -> region ids of the most recently committed wave, aligned
+  /// with that wave's victim order (the payload of trace `r` lines).
+  const std::vector<int>& last_assignment() const { return last_assignment_; }
+
+ private:
+  int workers_ = 1;
+  std::unordered_map<VNodeId, int> region_of_root_;
+  std::vector<int> last_assignment_;
+};
+
+}  // namespace fg

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <bit>
+#include <iterator>
 
 #include "util/check.h"
 
@@ -42,6 +43,25 @@ std::vector<MergeStep> carry_plan(std::vector<PieceInfo> pieces) {
 }
 
 namespace {
+// K-way bottom-up planner. Semantically this is still Algorithm A.9 —
+// binary addition with carries, then the ascending chain — and it emits a
+// step sequence *identical* to the textbook sorted-list formulation (pair
+// the two smallest equal-sized trees, re-insert the carry, repeat; pinned
+// by the MergePlan.MatchesReferenceImplementation regression test). The
+// difference is purely mechanical: instead of erase/insert churn on one
+// sorted vector (O(k) per carry, O(k^2) for the star-hub case where all k
+// pieces have equal size), it sweeps the size classes bottom-up. A class's
+// members are the input pieces of that size merged with the carries of the
+// class below; both lists arrive sorted by (key, idx), so the merge is
+// linear and the whole plan costs O(k log k) — the sort dominates.
+//
+// Why the class sweep reproduces the sorted-list order exactly:
+//   * the scan of the sorted list only reaches size class s after class
+//     s/2 is exhausted, so every carry into s exists before s is paired;
+//   * carries are created left-to-right from a key-sorted class, so they
+//     arrive in ascending (key, idx) order themselves;
+//   * a carry is strictly bigger than every not-yet-paired piece of its
+//     originating class, so pairing is always "two smallest first".
 std::vector<MergeStep> plan_impl(std::vector<PieceInfo> pieces, bool chain) {
   for (const auto& p : pieces) FG_CHECK_MSG(is_pow2(p.leaf_count), "piece not perfect");
   const int k = static_cast<int>(pieces.size());
@@ -52,27 +72,44 @@ std::vector<MergeStep> plan_impl(std::vector<PieceInfo> pieces, bool chain) {
   items.reserve(pieces.size());
   for (int i = 0; i < k; ++i) items.push_back({pieces[i].leaf_count, pieces[i].key, i});
   std::sort(items.begin(), items.end(), item_less);
+  plan.reserve(items.size());
 
   int next_idx = k;
 
-  // Phase 1 (Algorithm A.9 lines 5-19): binary addition with carries — pair
-  // adjacent equal-sized trees; the merged tree re-enters the sorted list and
-  // scanning resumes just before the insertion point so carries cascade.
+  // Phase 1 (Algorithm A.9 lines 5-19): binary addition, one size class at
+  // a time. `carry` always holds a single size (the class above the last
+  // one processed); at most one piece per class survives unpaired.
+  std::vector<Item> survivors;   // distinct sizes, ascending
+  std::vector<Item> carry;       // carries awaiting the next class
+  std::vector<Item> cls, next_carry;
   size_t i = 0;
-  while (i + 1 < items.size()) {
-    if (items[i].size != items[i + 1].size) {
-      ++i;
-      continue;
+  while (i < items.size() || !carry.empty()) {
+    int64_t s = carry.empty() ? items[i].size
+                              : (i < items.size() ? std::min(items[i].size, carry.front().size)
+                                                  : carry.front().size);
+    size_t j = i;
+    while (j < items.size() && items[j].size == s) ++j;
+
+    cls.clear();
+    if (!carry.empty() && carry.front().size == s) {
+      std::merge(items.begin() + static_cast<long>(i), items.begin() + static_cast<long>(j),
+                 carry.begin(), carry.end(), std::back_inserter(cls), item_less);
+      carry.clear();
+    } else {
+      cls.assign(items.begin() + static_cast<long>(i), items.begin() + static_cast<long>(j));
     }
-    MergeStep step{items[i].idx, items[i + 1].idx, next_idx++};
-    plan.push_back(step);
-    Item merged{items[i].size * 2, std::min(items[i].key, items[i + 1].key), step.result};
-    items.erase(items.begin() + static_cast<long>(i), items.begin() + static_cast<long>(i) + 2);
-    auto pos = std::lower_bound(items.begin(), items.end(), merged, item_less);
-    FG_CHECK(static_cast<size_t>(pos - items.begin()) >= i);  // list stays sorted
-    items.insert(pos, merged);
-    // Continue at i: the merged (strictly bigger) piece landed at or after i,
-    // so the element now at i is the next still-unpaired piece.
+    i = j;
+
+    next_carry.clear();
+    size_t m = 0;
+    for (; m + 1 < cls.size(); m += 2) {
+      // cls is key-sorted, so cls[m].key is the pair's minimum — the key
+      // the carry inherits.
+      plan.push_back({cls[m].idx, cls[m + 1].idx, next_idx});
+      next_carry.push_back({s * 2, cls[m].key, next_idx++});
+    }
+    if (m < cls.size()) survivors.push_back(cls[m]);
+    carry.swap(next_carry);
   }
 
   // Phase 2 (lines 20-28): all sizes now distinct; chain ascending, always
@@ -80,11 +117,11 @@ std::vector<MergeStep> plan_impl(std::vector<PieceInfo> pieces, bool chain) {
   // are distinct powers of two, the accumulated haft is always smaller than
   // the next tree, which keeps the haft property.
   if (chain) {
-    for (size_t j = 0; j + 1 < items.size(); ++j) {
-      MergeStep step{items[j + 1].idx, items[j].idx, next_idx++};
+    for (size_t j = 0; j + 1 < survivors.size(); ++j) {
+      MergeStep step{survivors[j + 1].idx, survivors[j].idx, next_idx++};
       plan.push_back(step);
-      items[j + 1] = {items[j + 1].size + items[j].size,
-                      std::min(items[j].key, items[j + 1].key), step.result};
+      survivors[j + 1] = {survivors[j + 1].size + survivors[j].size,
+                          std::min(survivors[j].key, survivors[j + 1].key), step.result};
     }
   }
   return plan;

@@ -18,6 +18,13 @@ void Trace::replay(Healer& healer) const {
       for (NodeId v : a.targets)
         FG_CHECK_MSG(healer.healed().is_alive(v), "trace batch-deletes a dead node");
       healer.remove_batch(a.targets);
+      // A recorded `r` line pins the wave's dirty-region assignment; a
+      // replay that disagrees has diverged structurally *within* the named
+      // region — the bisection signal the line exists for.
+      if (!a.regions.empty() && healer.forgiving() != nullptr) {
+        FG_CHECK_MSG(healer.forgiving()->last_region_assignment() == a.regions,
+                     "trace region assignment diverged on replay");
+      }
     } else {
       healer.insert(a.neighbors);
     }
@@ -33,6 +40,11 @@ void Trace::save(std::ostream& os) const {
       os << 'b';
       for (NodeId v : a.targets) os << ' ' << v;
       os << '\n';
+      if (!a.regions.empty()) {
+        os << 'r';
+        for (int r : a.regions) os << ' ' << r;
+        os << '\n';
+      }
     } else {
       os << 'i';
       for (NodeId y : a.neighbors) os << ' ' << y;
@@ -61,6 +73,16 @@ Trace Trace::load(std::istream& is) {
       while (ls >> v) a.targets.push_back(v);
       FG_CHECK_MSG(!a.targets.empty(), "malformed batch deletion line");
       t.actions_.push_back(std::move(a));
+    } else if (kind == 'r') {
+      FG_CHECK_MSG(!t.actions_.empty() &&
+                       t.actions_.back().kind == Action::Kind::kBatchDelete,
+                   "r line without a preceding batch deletion");
+      Action& b = t.actions_.back();
+      FG_CHECK_MSG(b.regions.empty(), "duplicate r line for a batch deletion");
+      int r;
+      while (ls >> r) b.regions.push_back(r);
+      FG_CHECK_MSG(b.regions.size() == b.targets.size(),
+                   "r line length differs from its batch deletion");
     } else if (kind == 'i') {
       Action a;
       a.kind = Action::Kind::kInsert;
@@ -86,13 +108,18 @@ Trace record_run(Healer& healer, Adversary& adversary, int max_steps, Rng& rng) 
   for (int step = 0; step < max_steps; ++step) {
     auto action = adversary.next(healer, rng);
     if (!action) break;
-    t.record(*action);
-    if (action->kind == Action::Kind::kDelete)
+    if (action->kind == Action::Kind::kDelete) {
       healer.remove(action->target);
-    else if (action->kind == Action::Kind::kBatchDelete)
+    } else if (action->kind == Action::Kind::kBatchDelete) {
       healer.remove_batch(action->targets);
-    else
+      // Stamp the wave with its dirty-region assignment when the healer
+      // exposes it (the trace `r` line).
+      if (healer.forgiving() != nullptr)
+        action->regions = healer.forgiving()->last_region_assignment();
+    } else {
       healer.insert(action->neighbors);
+    }
+    t.record(*action);
   }
   return t;
 }

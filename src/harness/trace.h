@@ -9,6 +9,11 @@
 // Format (one action per line):
 //   d <node>                 deletion
 //   b <node> <node> ...      batched deletion (one repair round)
+//   r <region> <region> ...  region assignment of the preceding b line,
+//                            aligned with its victims (optional; written
+//                            when the recorded healer exposes sharding).
+//                            Replay re-derives the assignment and aborts on
+//                            mismatch, localizing a divergence to a region.
 //   i <nbr> <nbr> ...        insertion (id is implicit: next unused)
 //   # comment / blank lines ignored
 #pragma once

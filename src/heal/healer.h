@@ -16,7 +16,10 @@
 //       in both graphs; remove() deletes the node from G and then applies
 //       the strategy's repair to G alone.
 //   C4. Healers are deterministic given the schedule — the trace module can
-//       replay any run bit-identically for bisection.
+//       replay any run bit-identically for bisection. The Forgiving Graph's
+//       shard worker count is explicitly *not* part of the schedule:
+//       sharded-concurrent planning must replay byte-identical to
+//       single-threaded planning (tests/shard_determinism_test.cpp).
 #pragma once
 
 #include <memory>
@@ -42,7 +45,7 @@ class Healer {
   /// Batched adversarial deletion: all victims (alive, distinct) fail
   /// simultaneously, healed in one repair round. The default falls back to
   /// sequential removals; healers with a native batch path (the Forgiving
-  /// Graph's single merged plan) override it.
+  /// Graph's per-region merged plans) override it.
   virtual void remove_batch(std::span<const NodeId> victims) {
     for (NodeId v : victims) remove(v);
   }

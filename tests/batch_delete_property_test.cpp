@@ -1,11 +1,13 @@
 // Property suite for batched deletions (delete_batch): a batch of k
-// simultaneous victims healed in one repair round with a single merged plan
-// must be *semantically* equivalent to k sequential deletions — the
-// structures need not be identical (the batch merges everything into one
-// RT), but both must satisfy invariants I1-I5, the same Theorem 1
-// degree/stretch bounds, and preserve connectivity. In kGlobalPlan mode the
-// distributed engine must stay bit-identical to the centralized engine on
-// batched schedules too, since both run the shared core::StructuralCore.
+// simultaneous victims healed in one repair round — one merged plan and
+// one new RT per connected dirty region — must be *semantically*
+// equivalent to k sequential deletions. The structures need not be
+// identical (the batch's RT partition follows its regions), but both must
+// satisfy invariants I1-I5, the same Theorem 1 degree/stretch bounds, and
+// preserve connectivity. In kGlobalPlan mode the distributed engine must
+// stay bit-identical to the centralized engine on batched schedules too,
+// since both run the shared core::StructuralCore. (The region machinery
+// itself is pinned by tests/sharded_repair_test.cpp.)
 #include <gtest/gtest.h>
 
 #include <algorithm>

@@ -111,6 +111,82 @@ TEST_P(MergePlanSeeds, Phase2ChainsBiggerOnLeft) {
 
 INSTANTIATE_TEST_SUITE_P(Seeds, MergePlanSeeds, ::testing::Range(uint64_t{0}, uint64_t{20}));
 
+// The textbook formulation of Algorithm A.9: one sorted list, pair the two
+// smallest equal-sized trees, erase them, re-insert the carry, repeat. The
+// shipped planner is a bucketed k-way rewrite of this exact recurrence (the
+// sorted-list version is O(k^2) when all pieces have equal size — the star
+// hub); this reference keeps them pinned step-for-step.
+std::vector<MergeStep> reference_plan(std::vector<PieceInfo> pieces, bool chain) {
+  struct Item {
+    int64_t size;
+    uint64_t key;
+    int idx;
+  };
+  auto less = [](const Item& a, const Item& b) {
+    if (a.size != b.size) return a.size < b.size;
+    if (a.key != b.key) return a.key < b.key;
+    return a.idx < b.idx;
+  };
+  const int k = static_cast<int>(pieces.size());
+  std::vector<MergeStep> plan;
+  if (k <= 1) return plan;
+  std::vector<Item> items;
+  for (int i = 0; i < k; ++i) items.push_back({pieces[i].leaf_count, pieces[i].key, i});
+  std::sort(items.begin(), items.end(), less);
+  int next_idx = k;
+  size_t i = 0;
+  while (i + 1 < items.size()) {
+    if (items[i].size != items[i + 1].size) {
+      ++i;
+      continue;
+    }
+    MergeStep step{items[i].idx, items[i + 1].idx, next_idx++};
+    plan.push_back(step);
+    Item merged{items[i].size * 2, std::min(items[i].key, items[i + 1].key), step.result};
+    items.erase(items.begin() + static_cast<long>(i), items.begin() + static_cast<long>(i) + 2);
+    items.insert(std::lower_bound(items.begin(), items.end(), merged, less), merged);
+  }
+  if (chain) {
+    for (size_t j = 0; j + 1 < items.size(); ++j) {
+      MergeStep step{items[j + 1].idx, items[j].idx, next_idx++};
+      plan.push_back(step);
+      items[j + 1] = {items[j + 1].size + items[j].size,
+                      std::min(items[j].key, items[j + 1].key), step.result};
+    }
+  }
+  return plan;
+}
+
+bool same_steps(const std::vector<MergeStep>& a, const std::vector<MergeStep>& b) {
+  if (a.size() != b.size()) return false;
+  for (size_t i = 0; i < a.size(); ++i)
+    if (a[i].left != b[i].left || a[i].right != b[i].right || a[i].result != b[i].result)
+      return false;
+  return true;
+}
+
+TEST(MergePlan, MatchesReferenceImplementation) {
+  // Not just the same shape — the same steps in the same order, because the
+  // step order is what fixes helper/representative assignment in both
+  // engines (and therefore the healed topology).
+  Rng rng(0xfeedface);
+  for (int trial = 0; trial < 400; ++trial) {
+    int k = static_cast<int>(rng.next_int(0, 40));
+    std::vector<PieceInfo> pieces;
+    for (int i = 0; i < k; ++i)
+      pieces.push_back({int64_t{1} << rng.next_int(0, 6), rng.next_u64() % 64});
+    EXPECT_TRUE(same_steps(merge_plan(pieces), reference_plan(pieces, true)))
+        << "merge_plan diverged from reference at trial " << trial;
+    EXPECT_TRUE(same_steps(carry_plan(pieces), reference_plan(pieces, false)))
+        << "carry_plan diverged from reference at trial " << trial;
+  }
+  // The adversarial case for the bucketing: thousands of equal-size pieces
+  // (every carry cascades through every class).
+  std::vector<PieceInfo> star;
+  for (int i = 0; i < 3000; ++i) star.push_back({1, static_cast<uint64_t>(i * 7 % 997)});
+  EXPECT_TRUE(same_steps(merge_plan(star), reference_plan(star, true)));
+}
+
 TEST(MergePlan, AllSingletonsGiveLeftCompleteJoinSizes) {
   // 2^k singletons: the plan is a perfect elimination tournament.
   std::vector<PieceInfo> pieces;

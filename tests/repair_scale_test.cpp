@@ -27,12 +27,15 @@ TEST(RepairScale, HundredThousandNodePath) {
   for (NodeId v = 1; v < kN - 1; v += 2) fg.remove(v);
   EXPECT_EQ(fg.healed().alive_count(), kN - (kN - 1) / 2);
 
-  // A batched wave of every fourth survivor merges thousands of separate
-  // 2-leaf RTs (plus fresh anchors) into one RT in a single repair round.
+  // A batched wave of every fourth survivor: ~12.5k pairwise-disjoint
+  // victims, each bridging its two 2-leaf RTs — the region partitioner and
+  // planner at full width (one region and one new RT per victim) in a
+  // single repair round.
   std::vector<NodeId> wave;
   for (NodeId v = 2; v < kN - 2; v += 8) wave.push_back(v);
   fg.delete_batch(wave);
   EXPECT_TRUE(is_connected(fg.healed()));
+  EXPECT_EQ(fg.last_repair().regions, static_cast<int>(wave.size()));
   EXPECT_GE(fg.last_repair().final_rt_leaves, static_cast<int64_t>(wave.size()));
 
   // Spot-check the degree bound on the survivors (full validate() is

@@ -26,9 +26,9 @@ TEST(Trace, RecordAndReplayReproducesTopology) {
 
 TEST(Trace, SaveLoadRoundTrip) {
   Trace t;
-  t.record(Action{Action::Kind::kDelete, 7, {}, {}});
-  t.record(Action{Action::Kind::kInsert, kInvalidNode, {1, 2, 3}, {}});
-  t.record(Action{Action::Kind::kDelete, 2, {}, {}});
+  t.record(Action{Action::Kind::kDelete, 7, {}, {}, {}});
+  t.record(Action{Action::Kind::kInsert, kInvalidNode, {1, 2, 3}, {}, {}});
+  t.record(Action{Action::Kind::kDelete, 2, {}, {}, {}});
 
   std::stringstream ss;
   t.save(ss);
@@ -50,7 +50,7 @@ TEST(Trace, LoadIgnoresCommentsAndBlankLines) {
 
 TEST(Trace, PrefixForBisection) {
   Trace t;
-  for (NodeId v = 0; v < 10; ++v) t.record(Action{Action::Kind::kDelete, v, {}, {}});
+  for (NodeId v = 0; v < 10; ++v) t.record(Action{Action::Kind::kDelete, v, {}, {}, {}});
   EXPECT_EQ(t.prefix(4).size(), 4u);
   EXPECT_EQ(t.prefix(99).size(), 10u);
   EXPECT_EQ(t.prefix(0).size(), 0u);
@@ -73,7 +73,7 @@ TEST(Trace, ReplayAcrossDifferentHealers) {
 
 TEST(TraceDeathTest, ReplayOnWrongGraphAborts) {
   Trace t;
-  t.record(Action{Action::Kind::kDelete, 5, {}, {}});
+  t.record(Action{Action::Kind::kDelete, 5, {}, {}, {}});
   ForgivingGraphHealer h(make_path(3));  // node 5 does not exist
   EXPECT_DEATH(t.replay(h), "dead");
 }
