@@ -1,9 +1,11 @@
 // Sharded quickstart: the plan/commit pipeline in forty lines.
 //
-// A deletion wave splits into connected dirty regions; disjoint regions are
-// planned concurrently on a worker pool and committed in deterministic
-// region order, so the healed topology is bit-identical at any worker
-// count (Healer contract C4).
+// A deletion wave splits into connected dirty regions; disjoint regions
+// are planned concurrently on a worker pool, and their merges may commit
+// concurrently too — the plan's arena-id reservation fixes every
+// virtual-node handle at plan time, so the healed structure is
+// byte-identical at any worker count on either side (Healer contract C4,
+// docs/CONCURRENCY.md).
 //
 //   $ ./examples/sharded_quickstart
 #include <iostream>
@@ -15,9 +17,11 @@
 int main() {
   using namespace fg;
 
-  // A ring of 64 processors; plan phases fan out over 4 workers.
+  // A ring of 64 processors; plans fan out over 4 workers, and the
+  // commit's region merges draw from a 4-worker pool as well.
   ForgivingGraph network(make_cycle(64));
   network.set_shard_workers(4);
+  network.set_commit_workers(4);
 
   // Three victims far apart on the ring: three disjoint dirty regions.
   std::vector<NodeId> wave{8, 24, 40};
@@ -31,8 +35,9 @@ int main() {
               << " victim(s), " << region.pieces.size() << " pieces, "
               << region.steps.size() << " joins\n";
 
-  // Commit (single-threaded, deterministic region order). delete_batch is
-  // exactly plan_delete_batch + commit_delete_batch.
+  // Commit (deterministic: break in region order, merges on the commit
+  // pool, reserved arena handles). delete_batch is exactly
+  // plan_delete_batch + commit_delete_batch.
   network.commit_delete_batch(plan);
 
   std::cout << "healed: connected = " << std::boolalpha

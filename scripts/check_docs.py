@@ -7,6 +7,11 @@
 2. Every snippet embedded in docs/*.md between `<!-- BEGIN <file> -->` /
    `<!-- END <file> -->` markers must be byte-identical to examples/<file>
    (quickstart.cpp, sharded_quickstart.cpp, ...).
+3. docs/CONCURRENCY.md stays in sync with the code it documents: every
+   API name its "## API surface" section attributes to a header must
+   literally appear in that header, and the canonical contract-C4 wording
+   ("schedule-independent commit") must appear both in the doc and in the
+   headers that claim it.
 
 Exits non-zero with a per-problem report on any violation.
 """
@@ -83,14 +88,77 @@ def check_snippet_sync():
     return problems
 
 
+# The canonical C4 phrase: the concurrency doc pins it, and the headers
+# that promise it must keep using the same words (a silent rewording in
+# either place is drift).
+C4_PHRASE = "schedule-independent commit"
+C4_FILES = (
+    "docs/CONCURRENCY.md",
+    "src/fg/sharded_forest.h",
+    "src/fg/core/structural_core.h",
+)
+
+# "- `src/...h` — `name`, `name`, ..." bullets of the API surface section.
+API_ENTRY_RE = re.compile(r"- `(?P<header>src/[^`]+)` — (?P<names>.*?)(?=\n- |\n\n|\Z)", re.S)
+API_NAME_RE = re.compile(r"`([^`]+)`")
+
+COMMENT_RE = re.compile(r"//[^\n]*|/\*.*?\*/", re.S)
+
+
+def header_code(path):
+    """Header text with comments stripped: an API name must survive as a
+    code token, not merely appear in prose (otherwise short names like
+    `commit` could never fail the check)."""
+    return COMMENT_RE.sub("", path.read_text())
+
+
+def check_concurrency_sync():
+    doc = REPO / "docs" / "CONCURRENCY.md"
+    if not doc.exists():
+        return ["docs/CONCURRENCY.md: missing (the concurrency model doc is required)"]
+    problems = []
+    text = doc.read_text()
+
+    for rel in C4_FILES:
+        path = REPO / rel
+        if not path.exists():
+            problems.append(f"{rel}: missing, but docs/CONCURRENCY.md documents it")
+        elif C4_PHRASE not in path.read_text():
+            problems.append(
+                f"{rel}: C4 wording drifted — must contain the canonical phrase "
+                f"\"{C4_PHRASE}\" (docs/CONCURRENCY.md pins it)")
+
+    marker = "## API surface"
+    if marker not in text:
+        return problems + [
+            "docs/CONCURRENCY.md: missing the '## API surface' section the sync check reads"]
+    section = text.split(marker, 1)[1]
+    entries = API_ENTRY_RE.findall(section)
+    if not entries:
+        problems.append("docs/CONCURRENCY.md: API surface section lists no headers")
+    for header, names in entries:
+        path = REPO / header
+        if not path.exists():
+            problems.append(f"docs/CONCURRENCY.md: API surface names missing header {header}")
+            continue
+        code = header_code(path)
+        for name in API_NAME_RE.findall(names):
+            if not re.search(r"\b" + re.escape(name) + r"\b", code):
+                problems.append(
+                    f"docs/CONCURRENCY.md: `{name}` is attributed to {header} "
+                    "but does not appear in its code — update the doc or the header")
+    return problems
+
+
 def main():
-    problems = check_links() + check_snippet_sync()
+    problems = check_links() + check_snippet_sync() + check_concurrency_sync()
     for p in problems:
         print(p, file=sys.stderr)
     if problems:
         sys.exit(1)
     print(f"docs OK: {sum(1 for _ in markdown_files())} markdown files, "
-          "links resolve, example snippets in sync")
+          "links resolve, example snippets in sync, CONCURRENCY.md API names "
+          "and C4 wording match the headers")
 
 
 if __name__ == "__main__":

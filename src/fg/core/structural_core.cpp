@@ -43,6 +43,7 @@ void StructuralCore::remove_image_edge(NodeId u, NodeId v) {
 }
 
 NodeId StructuralCore::insert_node(std::span<const NodeId> neighbors) {
+  ++epoch_;  // any outstanding plan is stale from here on
   NodeId id = gprime_.add_node();
   NodeId id2 = g_.add_node();
   FG_CHECK(id == id2);
@@ -230,15 +231,27 @@ RepairPlan StructuralCore::plan_deletion(std::span<const NodeId> victims,
   return plan;
 }
 
-void StructuralCore::finalize_plan(const DeletionAnalysis& analysis, RepairPlan* plan) {
+void StructuralCore::finalize_plan(const DeletionAnalysis& analysis,
+                                   RepairPlan* plan) const {
   plan->split = analysis.split;
   plan->victims = analysis.victims;
+  plan->epoch = epoch_;
   std::unordered_map<NodeId, int> region_of;
-  for (const RegionPlan& region : plan->regions) {
+  // The arena-id reservation: region r's commit allocates exactly its
+  // anchor leaves plus one helper per merge step, so contiguous handle
+  // ranges follow from region order by prefix sums — any commit schedule
+  // lands every vnode at the same handle (contract C4).
+  const int arena_start = forest_.arena_size();
+  int next_handle = arena_start;
+  for (RegionPlan& region : plan->regions) {
     plan->profile.collect_ms += region.collect_ms;
     plan->profile.merge_ms += region.merge_ms;
     for (NodeId v : region.victims) region_of[v] = region.id;
+    region.arena_base = next_handle;
+    next_handle += static_cast<int>(region.fresh.size() + region.steps.size());
   }
+  plan->arena_start = arena_start;
+  plan->arena_total = next_handle - arena_start;
   plan->victim_region.clear();
   plan->victim_region.reserve(plan->victims.size());
   for (NodeId v : plan->victims) plan->victim_region.push_back(region_of.at(v));
@@ -291,7 +304,20 @@ void StructuralCore::collect_events(VNodeId root, const DeletionAnalysis& analys
 }
 
 std::vector<std::vector<VNodeId>> StructuralCore::commit_break(const RepairPlan& plan,
-                                                               RepairObserver* observer) {
+                                                               RepairObserver* observer,
+                                                               CommitAlloc alloc) {
+  // A stale plan — any mutation since planning, even one that left the
+  // arena size unchanged (a teardown-only repair) — would replay a script
+  // over state it no longer describes; fail loudly instead.
+  FG_CHECK_MSG(plan.epoch == epoch_,
+               "committing a stale plan: core mutated since planning");
+  ++epoch_;
+  if (alloc == CommitAlloc::kReserved) {
+    FG_CHECK_MSG(plan.arena_start == forest_.arena_size(),
+                 "committing a stale plan: arena moved since planning");
+    VNodeId base = forest_.reserve_range(plan.arena_total);
+    FG_CHECK(base == plan.arena_start);
+  }
   last_repair_ = RepairStats{};
   last_repair_.regions = static_cast<int>(plan.regions.size());
   std::unordered_set<NodeId> victim_set;
@@ -330,9 +356,18 @@ std::vector<std::vector<VNodeId>> StructuralCore::commit_break(const RepairPlan&
     last_repair_.helpers_removed += region.red_teardowns;
 
     // Spawn the anchor leaves and drop the victims' surviving image edges.
+    // Under kReserved the j-th fresh leaf lands at its plan-time handle
+    // arena_base + j; the region's helpers follow in the same range.
+    int fresh_at = region.arena_base;
     for (const RegionPlan::FreshLeaf& f : region.fresh) {
       remove_image_edge(f.dead, f.owner);
-      VNodeId leaf = forest_.make_leaf(f.owner, f.dead);
+      VNodeId leaf;
+      if (alloc == CommitAlloc::kReserved) {
+        leaf = fresh_at++;
+        forest_.make_leaf_in(leaf, f.owner, f.dead);
+      } else {
+        leaf = forest_.make_leaf(f.owner, f.dead);
+      }
       Slot& s = procs_[static_cast<size_t>(f.owner)].slots[f.dead];
       FG_CHECK(s.leaf == kNoVNode && s.helper == kNoVNode);
       s.leaf = leaf;
@@ -362,19 +397,76 @@ std::vector<std::vector<VNodeId>> StructuralCore::commit_break(const RepairPlan&
   return pieces;
 }
 
-VNodeId StructuralCore::commit_merge(const RegionPlan& region,
-                                     std::vector<VNodeId> pieces) {
+VNodeId StructuralCore::merge_region(const RegionPlan& region,
+                                     std::vector<VNodeId>&& pieces,
+                                     MergeEffects* effects) {
   FG_CHECK(pieces.size() == region.pieces.size());
+  if (effects) effects->reset();
   if (pieces.empty()) return kNoVNode;
+  FG_CHECK_MSG(region.arena_base >= 0, "merge_region requires a reserved plan");
+  pieces.reserve(pieces.size() + region.steps.size());
+  if (effects) effects->image_edges.reserve(2 * region.steps.size());
+  // The region's helpers live right after its fresh leaves in the reserved
+  // range; step s constructs handle arena_base + fresh + s. With `effects`
+  // set, everything below touches region-local state only — the helper's
+  // reserved slot in the pre-grown arena, the children's parent links, and
+  // the (existing) slot entry of the representative leaf — which is why
+  // disjoint regions can run this concurrently (docs/CONCURRENCY.md, the
+  // reservation argument); shared-state writes are recorded, not applied.
+  VNodeId next = region.arena_base + static_cast<VNodeId>(region.fresh.size());
   for (const auto& step : region.steps) {
     VNodeId l = pieces[static_cast<size_t>(step.left)];
     VNodeId r = pieces[static_cast<size_t>(step.right)];
-    VNodeId h = join_pieces(l, r);
+    // Representative mechanism (Algorithm A.9): the left tree's
+    // representative simulates the new helper; the merged root inherits
+    // the right tree's representative.
+    const auto& rep = forest_.node(forest_.node(l).rep);
+    NodeId rep_owner = rep.owner;
+    NodeId rep_other = rep.other;
+    NodeId left_owner = forest_.node(l).owner;
+    NodeId right_owner = forest_.node(r).owner;
+    VNodeId h = forest_.make_helper_in(next++, rep_owner, rep_other, l, r);
+    auto& slots = procs_[static_cast<size_t>(rep_owner)].slots;
+    auto it = slots.find(rep_other);
+    FG_CHECK_MSG(it != slots.end(), "representative leaf has no slot entry");
+    FG_CHECK_MSG(it->second.helper == kNoVNode,
+                 "representative already simulates a helper");
+    it->second.helper = h;
+    if (effects) {
+      effects->image_edges.push_back({rep_owner, left_owner});
+      effects->image_edges.push_back({rep_owner, right_owner});
+      ++effects->helpers_created;
+    } else {
+      add_image_edge(rep_owner, left_owner);
+      add_image_edge(rep_owner, right_owner);
+      ++last_repair_.helpers_created;
+    }
     FG_CHECK(static_cast<int>(pieces.size()) == step.result);
     pieces.push_back(h);
   }
-  finish_repair(pieces.back());
+  if (effects)
+    effects->root = pieces.back();
+  else
+    finish_repair(pieces.back());
   return pieces.back();
+}
+
+VNodeId StructuralCore::apply_merge_effects(const MergeEffects& effects) {
+  for (const auto& [u, v] : effects.image_edges) add_image_edge(u, v);
+  last_repair_.helpers_created += effects.helpers_created;
+  if (effects.root != kNoVNode) finish_repair(effects.root);
+  return effects.root;
+}
+
+VNodeId StructuralCore::commit_merge(const RegionPlan& region,
+                                     std::vector<VNodeId> pieces) {
+  return merge_region(region, std::move(pieces), nullptr);
+}
+
+void StructuralCore::check_reservation_settled(const RepairPlan& plan) const {
+  FG_CHECK_MSG(forest_.unconstructed_in(plan.arena_start,
+                                        plan.arena_start + plan.arena_total) == 0,
+               "arena reservation not fully constructed after commit");
 }
 
 void StructuralCore::detach_vnode(VNodeId h) {

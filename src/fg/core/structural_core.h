@@ -32,12 +32,19 @@
 //      k-way ComputeHaft merge steps. Planning never mutates the core, so
 //      disjoint regions can be planned concurrently (fg::ShardedForest);
 //      the resulting RepairPlan is a pure function of (core, victims).
-//   2. commit_break / commit_merge: apply the plan, single-threaded, in
-//      deterministic region order — break every region, spawn its anchor
-//      leaves, tombstone the victims, then reassemble each region's pieces
-//      into one RT per region. The centralized engine replays the planned
-//      merge steps (commit_merge); the distributed engine computes its
-//      mode's plan itself and applies each join through join_pieces.
+//   2. commit_break / commit_merge: apply the plan in deterministic region
+//      order — break every region, spawn its anchor leaves, tombstone the
+//      victims, then reassemble each region's pieces into one RT per
+//      region. Under CommitAlloc::kReserved (the centralized engine's
+//      default), the plan also carries a per-region *arena-id reservation*:
+//      every vnode handle the commit will allocate is fixed at plan time by
+//      region-order arithmetic alone, so disjoint regions may merge
+//      concurrently (merge_region) and any worker count replays
+//      byte-identical checkpoints — contract C4, strengthened from
+//      "single-threaded commit" to "schedule-independent commit"
+//      (docs/CONCURRENCY.md). The distributed engine keeps the on-demand
+//      path (CommitAlloc::kOnDemand) and applies each join through
+//      join_pieces.
 //
 // Invariants maintained after every insert_node / committed repair
 // (checked by validate(); numbering follows docs/DESIGN.md):
@@ -73,6 +80,14 @@ namespace fg::core {
 /// the whole wave into a single RT (the pre-sharding behaviour, kept for
 /// A/B measurement — bench/repair_path.cpp).
 enum class RegionSplit { kPerRegion, kGlobal };
+
+/// How a commit allocates the repair's new virtual nodes. kReserved draws
+/// every handle from the plan's arena-id reservation (fixed at plan time;
+/// required for concurrent region merges and what the centralized engine
+/// always uses); kOnDemand appends to the arena as joins happen — the
+/// distributed engine's path, whose DAG replay interleaves joins across
+/// regions and never commits concurrently.
+enum class CommitAlloc { kReserved, kOnDemand };
 
 /// Structural statistics of the most recent committed repair (one deletion
 /// or one batch). Reset by commit_break; commit_merge / join_pieces /
@@ -110,6 +125,12 @@ struct RegionPlan {
   };
 
   int id = 0;                      ///< Commit order (regions heal in id order).
+  /// First arena handle of this region's reservation: the commit allocates
+  /// exactly fresh.size() anchor leaves at [arena_base, arena_base +
+  /// fresh.size()) and steps.size() helpers right after them, in step
+  /// order. Computed from region order alone (finalize_plan), so the arena
+  /// layout is identical at every commit worker count. -1 until finalized.
+  int arena_base = -1;
   std::vector<NodeId> victims;     ///< Region's victims, in wave order.
   std::vector<VNodeId> roots;      ///< Affected RT roots, ascending.
   std::vector<Event> events;       ///< Break-phase script.
@@ -132,6 +153,18 @@ struct RepairPlan {
   std::vector<int> victim_region;  ///< Region id per victim, aligned above.
   std::vector<RegionPlan> regions;
   RegionSplit split = RegionSplit::kPerRegion;
+  /// The wave's arena-id reservation: a kReserved commit reserves
+  /// arena_total handles starting at arena_start (== the arena size the
+  /// plan was computed against) and every region draws from its own
+  /// [arena_base, arena_base + fresh + steps) sub-range. See
+  /// docs/CONCURRENCY.md.
+  int arena_start = -1;
+  int arena_total = 0;
+  /// The core's mutation epoch the plan was computed against; commit_break
+  /// FG_CHECKs it, so *any* intervening mutation — even one that leaves
+  /// the arena size unchanged, like a teardown-only repair — makes the
+  /// plan refuse to commit instead of replaying a stale script.
+  uint64_t epoch = 0;
   /// Planner phase timings (milliseconds), for bench/repair_path.cpp:
   /// region partitioning, dirty-region piece collection, merge-step
   /// computation. Informational only — never part of the plan's identity.
@@ -224,31 +257,84 @@ class StructuralCore {
                            RegionSplit split = RegionSplit::kPerRegion) const;
 
   /// Fill the wave-level fields of a plan whose regions are already
-  /// populated (victims, victim_region, profile sums). Shared by
-  /// plan_deletion and concurrent planners.
-  static void finalize_plan(const DeletionAnalysis& analysis, RepairPlan* plan);
+  /// populated (victims, victim_region, profile sums), stamp this core's
+  /// arena size and mutation epoch (what commit_break validates against),
+  /// and assign the arena-id reservation: each region's arena_base
+  /// follows by prefix sums over (fresh + steps) counts in region id
+  /// order — a pure function of the plan, never of scheduling. Shared by
+  /// plan_deletion and concurrent planners (fg::ShardedForest).
+  void finalize_plan(const DeletionAnalysis& analysis, RepairPlan* plan) const;
 
-  // --- Commit phase (single-threaded, deterministic region order). -------
+  // --- Commit phase (deterministic region order; see docs/CONCURRENCY.md).
 
   /// Apply the break phase of the whole plan: per region in id order,
   /// replay the event script (detach pieces, tear down dead and red
   /// vnodes) and spawn the anchor leaves; then tombstone the victims.
   /// Returns the materialized piece handles per region, aligned with
   /// RegionPlan::pieces. Resets last_repair(). The plan must have been
-  /// produced by this core with no intervening mutation.
+  /// produced by this core with no intervening mutation — FG_CHECKed
+  /// against the plan's mutation epoch, so a stale plan refuses to
+  /// commit. kReserved spawns each anchor leaf at its reserved handle;
+  /// kOnDemand (the dist engine) appends as before.
   std::vector<std::vector<VNodeId>> commit_break(const RepairPlan& plan,
-                                                 RepairObserver* observer = nullptr);
+                                                 RepairObserver* observer = nullptr,
+                                                 CommitAlloc alloc = CommitAlloc::kReserved);
+
+  /// The side effects of one region's merge that touch state shared across
+  /// regions, recorded by merge_region and applied by apply_merge_effects
+  /// in region id order. Buffers are reused wave to wave (the join_pieces
+  /// slot-map/scratch pooling — ROADMAP item).
+  struct MergeEffects {
+    VNodeId root = kNoVNode;  ///< The region's final RT root (kNoVNode: no pieces).
+    /// Image edges each join adds, in join order: (helper owner, left child
+    /// owner), then (helper owner, right child owner).
+    std::vector<std::pair<NodeId, NodeId>> image_edges;
+    int helpers_created = 0;
+
+    void reset() {
+      root = kNoVNode;
+      image_edges.clear();
+      helpers_created = 0;
+    }
+  };
 
   /// Replay one region's planned merge steps over its materialized pieces
-  /// (from commit_break), creating helpers through the representative
-  /// mechanism; returns the region's final RT root (kNoVNode for a region
-  /// with no pieces). The centralized engine's merge; the distributed
-  /// engine drives join_pieces itself instead.
+  /// (from a kReserved commit_break), constructing every helper at its
+  /// reserved arena handle. With `effects` non-null, mutates only
+  /// region-local state — the region's subtree nodes and its own slot
+  /// entries — and records the shared-state side effects (image edges,
+  /// counters) into `effects` instead of applying them, so disjoint
+  /// regions of one reserved plan may run this concurrently
+  /// (fg::ShardedForest's commit pool does). With `effects` null (the
+  /// single-threaded path) the side effects apply immediately, skipping
+  /// the record/replay pass. Either mode produces the identical structure.
+  /// `pieces` is consumed as scratch and must come from commit_break.
+  /// Returns the region's final RT root (kNoVNode for no pieces).
+  VNodeId merge_region(const RegionPlan& region, std::vector<VNodeId>&& pieces,
+                       MergeEffects* effects);
+
+  /// Fold one region's recorded merge effects into the shared state:
+  /// image edges in join order, repair counters, final-RT bookkeeping.
+  /// Single-threaded, called in region id order — the deterministic
+  /// stitch. Returns the region's final RT root.
+  VNodeId apply_merge_effects(const MergeEffects& effects);
+
+  /// The sequential merge of one region of a kReserved plan
+  /// (merge_region with immediate side effects). Returns the region's
+  /// final RT root (kNoVNode for a region with no pieces).
   VNodeId commit_merge(const RegionPlan& region, std::vector<VNodeId> pieces);
+
+  /// FG_CHECK that every handle of the plan's arena reservation was
+  /// constructed — an undersized plan or a skipped region fails loudly
+  /// instead of leaving silent holes in the arena. Call after the last
+  /// region's merge of a kReserved commit.
+  void check_reservation_settled(const RepairPlan& plan) const;
 
   /// One structural join of two piece roots (Algorithm A.9): the left
   /// tree's representative simulates the new helper; the merged root
   /// inherits the right tree's representative. Returns the new root.
+  /// On-demand allocation — the distributed merge modes' path; the
+  /// centralized reserved commit goes through merge_region instead.
   VNodeId join_pieces(VNodeId left, VNodeId right);
 
   /// Plan input for a piece root: leaf count plus the deterministic
@@ -261,6 +347,11 @@ class StructuralCore {
 
   const Graph& image() const { return g_; }
   const Graph& gprime() const { return gprime_; }
+
+  /// Monotone counter bumped by every structural mutation (insert_node,
+  /// commit_break). Plans are stamped with it and refuse to commit if it
+  /// moved — the staleness guard behind the arena-id reservation.
+  uint64_t mutation_epoch() const { return epoch_; }
   const VirtualForest& forest() const { return forest_; }
   bool is_alive(NodeId v) const { return g_.is_alive(v); }
   const RepairStats& last_repair() const { return last_repair_; }
@@ -319,6 +410,7 @@ class StructuralCore {
   std::vector<Proc> procs_;
   std::unordered_map<uint64_t, int> image_multiplicity_;
   RepairStats last_repair_;
+  uint64_t epoch_ = 0;  ///< See mutation_epoch().
 };
 
 }  // namespace fg::core

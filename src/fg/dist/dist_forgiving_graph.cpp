@@ -137,7 +137,14 @@ void DistForgivingGraph::delete_batch(std::span<const NodeId> victims) {
   // messages of the repair DAG, bucketed per region.
   core::RepairPlan plan = core_.plan_deletion(victims, split_);
   DagRecorder recorder(this);
-  std::vector<std::vector<VNodeId>> region_pieces = core_.commit_break(plan, &recorder);
+  // On-demand allocation: the distributed merge modes apply joins as the
+  // DAG replays, interleaving regions (and, in kStageWise, choosing a
+  // different association), so the plan's arena-id reservation does not
+  // describe this engine's allocation order. Commits here are never
+  // concurrent — determinism across delivery policies comes from the DAG,
+  // not from handle arithmetic.
+  std::vector<std::vector<VNodeId>> region_pieces =
+      core_.commit_break(plan, &recorder, core::CommitAlloc::kOnDemand);
   const core::RepairStats& rs = core_.last_repair();
   last_cost_.deleted_degree = rs.deleted_degree_gprime;
   last_cost_.anchors = rs.new_leaves;

@@ -7,17 +7,15 @@
 namespace fg {
 
 void ForgivingGraph::commit_delete_batch(const core::RepairPlan& plan) {
-  // The core performs the whole structural repair; the centralized engine
-  // applies the break and each region's planned merge directly as one
-  // atomic step (no observer — there is no protocol layer to mirror the
-  // mutations into). Regions commit in plan order: the shard ordering rule
-  // that keeps sharded planning bit-identical to sequential planning.
+  // The core performs the whole structural repair as one atomic step (no
+  // observer — there is no protocol layer to mirror the mutations into).
+  // The break phase runs single-threaded in region order; the merges draw
+  // every vnode from the plan's arena-id reservation, so the shard layer
+  // may fan disjoint regions out over its commit pool and still land on
+  // the byte-identical checkpoint at any worker count (contract C4,
+  // docs/CONCURRENCY.md).
   std::vector<std::vector<VNodeId>> pieces = core_.commit_break(plan);
-  std::vector<VNodeId> region_roots(plan.regions.size(), kNoVNode);
-  for (const core::RegionPlan& region : plan.regions)
-    region_roots[static_cast<size_t>(region.id)] =
-        core_.commit_merge(region, std::move(pieces[static_cast<size_t>(region.id)]));
-  shards_.note_commit(plan, region_roots);
+  shards_.commit(core_, plan, std::move(pieces));
 }
 
 ForgivingGraph ForgivingGraph::load(std::istream& is) {

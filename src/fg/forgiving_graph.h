@@ -11,10 +11,12 @@
 // pinned by tests/dist_equivalence_test.cpp and exhaustive_small_test.cpp).
 //
 // Every deletion runs the two-phase plan/commit pipeline: a read-only
-// RepairPlan per wave — one RegionPlan per connected dirty region — then a
-// single-threaded commit in deterministic region order. The plan side can
-// fan out over ShardedForest workers (set_shard_workers); the commit order
-// rule keeps the repair bit-identical at any worker count (contract C4).
+// RepairPlan per wave — one RegionPlan per connected dirty region, carrying
+// that region's arena-id reservation — then a commit whose break phase runs
+// in deterministic region order and whose region merges may fan out over
+// the commit pool. Both the plan side (set_shard_workers) and the commit
+// side (set_commit_workers) are schedule-independent: any worker count
+// replays byte-identical checkpoints (contract C4, docs/CONCURRENCY.md).
 //
 // The invariants maintained after every insert/remove (I1-I5, checked by
 // validate()) are documented on core::StructuralCore.
@@ -69,13 +71,23 @@ class ForgivingGraph {
   }
 
   /// Commit phase only: apply a plan produced by plan_delete_batch with no
-  /// intervening mutation. Single-threaded, deterministic region order.
+  /// intervening mutation. The break phase runs in deterministic region
+  /// order; region merges fan out over the commit pool when
+  /// commit_workers > 1, drawing every vnode handle from the plan's
+  /// arena-id reservation so the result is schedule-independent (C4).
   void commit_delete_batch(const core::RepairPlan& plan);
 
   /// Worker threads for the plan phase (1 = plan inline). Any value
   /// produces the identical repair (contract C4).
   void set_shard_workers(int n) { shards_.set_workers(n); }
   int shard_workers() const { return shards_.workers(); }
+
+  /// Worker threads for the commit's merge phase (1 = merge inline; n > 1
+  /// keeps a persistent pool of n - 1 background threads). Any value
+  /// replays byte-identical checkpoints (contract C4 — the arena-id
+  /// reservation fixes every handle at plan time).
+  void set_commit_workers(int n) { shards_.set_commit_workers(n); }
+  int commit_workers() const { return shards_.commit_workers(); }
 
   /// Per-region healing (default) vs the pre-sharding single wave-wide RT.
   void set_region_split(core::RegionSplit split) { split_ = split; }

@@ -4,14 +4,91 @@
 #include <atomic>
 #include <chrono>
 #include <thread>
+#include <utility>
 
 #include "util/check.h"
 
 namespace fg {
 
+// ---------------------------------------------------------------------------
+// CommitPool.
+
+CommitPool::CommitPool(int background) {
+  FG_CHECK_MSG(background >= 0, "negative pool size");
+  threads_.reserve(static_cast<size_t>(background));
+  for (int i = 0; i < background; ++i) threads_.emplace_back([this] { worker(); });
+  // Startup barrier: don't return until every worker is parked on the
+  // condition variable. Without it the threads' first-ever scheduling
+  // lands inside whatever the caller times next — on a single-core box
+  // that bills thread startup to the first commit.
+  std::unique_lock<std::mutex> lock(mutex_);
+  parked_cv_.wait(lock, [&] { return parked_ == background; });
+}
+
+CommitPool::~CommitPool() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    stop_ = true;
+  }
+  wake_.notify_all();
+  for (std::thread& t : threads_) t.join();
+}
+
+void CommitPool::dispatch(std::function<void()> job) {
+  if (threads_.empty()) return;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    job_ = std::move(job);
+    ++generation_;
+  }
+  wake_.notify_all();
+}
+
+void CommitPool::worker() {
+  uint64_t seen = 0;
+  bool first = true;
+  for (;;) {
+    std::function<void()> job;
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      if (first) {
+        first = false;
+        ++parked_;
+        parked_cv_.notify_one();
+      }
+      wake_.wait(lock, [&] { return stop_ || generation_ != seen; });
+      if (stop_) return;
+      // A worker that slept through several generations runs only the
+      // newest job: every earlier dispatch already met its completion
+      // condition before the next one was issued, so skipped jobs have no
+      // work left by construction.
+      seen = generation_;
+      job = job_;
+    }
+    job();
+  }
+}
+
+// ---------------------------------------------------------------------------
+// ShardedForest.
+
 void ShardedForest::set_workers(int n) {
   FG_CHECK_MSG(n >= 1, "worker count must be at least 1");
   workers_ = n;
+}
+
+void ShardedForest::set_commit_workers(int n) {
+  FG_CHECK_MSG(n >= 1, "worker count must be at least 1");
+  if (n == commit_workers_) return;
+  commit_workers_ = n;
+  // Don't build a pool the dispatch gate below can never use: on a box
+  // with a single hardware thread, merely having extra threads switches
+  // the allocator out of its single-threaded fast path and slows the
+  // (alloc-heavy) inline commit — with zero chance of a fan-out win.
+  // Contract C4 makes the structure identical either way.
+  static const unsigned hw_threads = std::thread::hardware_concurrency();
+  commit_pool_ =
+      (n > 1 && hw_threads != 1) ? std::make_unique<CommitPool>(n - 1) : nullptr;
 }
 
 core::RepairPlan ShardedForest::plan(const core::StructuralCore& core,
@@ -43,10 +120,86 @@ core::RepairPlan ShardedForest::plan(const core::StructuralCore& core,
     for (std::thread& t : pool) t.join();
   }
 
-  core::StructuralCore::finalize_plan(analysis, &plan);
+  core.finalize_plan(analysis, &plan);
   plan.profile.partition_ms =
       std::chrono::duration<double, std::milli>(t1 - t0).count();
   return plan;
+}
+
+std::vector<VNodeId> ShardedForest::commit(core::StructuralCore& core,
+                                           const core::RepairPlan& plan,
+                                           std::vector<std::vector<VNodeId>>&& pieces) {
+  FG_CHECK(pieces.size() == plan.regions.size());
+  const int regions = static_cast<int>(plan.regions.size());
+  std::vector<VNodeId> region_roots(static_cast<size_t>(regions), kNoVNode);
+
+  // Fanning out is a pure scheduling choice — the arena-id reservation
+  // makes the result identical either way (contract C4) — so take it only
+  // when it can pay: more than one region and a pool to run it on (none
+  // exists on single-hardware-thread boxes, see set_commit_workers).
+  // tests/arena_reservation_test.cpp drives CommitPool + merge_region
+  // directly, so the concurrent path stays TSan-covered even on machines
+  // where this gate keeps the engine inline.
+  if (!commit_pool_ || regions <= 1) {
+    // Inline: merge with immediate side effects — no record/replay pass.
+    for (int r = 0; r < regions; ++r)
+      region_roots[static_cast<size_t>(r)] =
+          core.merge_region(plan.regions[static_cast<size_t>(r)],
+                            std::move(pieces[static_cast<size_t>(r)]), nullptr);
+  } else {
+    // Reused wave to wave, grow-only: a smaller wave must not destroy the
+    // trailing slots' image_edges capacity, so a steady-state commit
+    // allocates no per-region bookkeeping (merge_region resets its slot).
+    std::vector<core::StructuralCore::MergeEffects>& effects = effects_scratch_;
+    if (effects.size() < static_cast<size_t>(regions))
+      effects.resize(static_cast<size_t>(regions));
+    // Same drain-a-counter shape as the plan side: every participant pulls
+    // the next unmerged region and builds its RT inside the region's
+    // reserved arena range. merge_region touches region-local state only
+    // and records the shared-state side effects into the region's own
+    // pre-sized MergeEffects slot, so no two participants ever write the
+    // same memory — the schedule decides *who* merges a region, never
+    // *what* the merge produces (contract C4).
+    //
+    // The counters live in a shared_ptr context owned by the job closure:
+    // a worker that wakes after this wave completed finds `next` exhausted
+    // and touches nothing else, so the caller never has to wait for
+    // threads to park — only for `merged` to reach the region count
+    // (release/acquire pairs with the stitch below reading the workers'
+    // region-local writes).
+    struct Ctx {
+      std::atomic<int> next{0};
+      std::atomic<int> merged{0};
+    };
+    auto ctx = std::make_shared<Ctx>();
+    core::StructuralCore* core_p = &core;
+    const core::RepairPlan* plan_p = &plan;
+    auto* pieces_p = &pieces;
+    auto* effects_p = &effects;
+    auto work = [ctx, core_p, plan_p, pieces_p, effects_p, regions] {
+      for (int r = ctx->next.fetch_add(1); r < regions; r = ctx->next.fetch_add(1)) {
+        core_p->merge_region(plan_p->regions[static_cast<size_t>(r)],
+                             std::move((*pieces_p)[static_cast<size_t>(r)]),
+                             &(*effects_p)[static_cast<size_t>(r)]);
+        ctx->merged.fetch_add(1, std::memory_order_release);
+      }
+    };
+    commit_pool_->dispatch(work);
+    work();  // the caller participates too
+    while (ctx->merged.load(std::memory_order_acquire) < regions)
+      std::this_thread::yield();
+
+    // The deterministic stitch: fold every region's recorded side effects
+    // (image edges, counters, final-RT bookkeeping) into the shared state
+    // in region id order — exactly the sequence the inline path applies.
+    for (int r = 0; r < regions; ++r)
+      region_roots[static_cast<size_t>(r)] =
+          core.apply_merge_effects(effects[static_cast<size_t>(r)]);
+  }
+
+  core.check_reservation_settled(plan);
+  note_commit(plan, region_roots);
+  return region_roots;
 }
 
 void ShardedForest::note_commit(const core::RepairPlan& plan,

@@ -1,5 +1,6 @@
 // Sharding layer over the virtual forest (docs/DESIGN.md, "Plan/commit
-// pipeline and the sharded forest").
+// pipeline and the sharded forest"; docs/CONCURRENCY.md for the full
+// concurrency model).
 //
 // A deletion wave decomposes into *connected dirty regions*: victims and
 // the RTs their virtual nodes live in, united whenever two victims share an
@@ -8,22 +9,39 @@
 // independently: their plans read disjoint parts of the structure and
 // their commits build disjoint RTs.
 //
-// ShardedForest exploits that locality on the *plan* side: it partitions a
-// wave (core::StructuralCore::analyze_deletion), then fans the read-only
-// per-region planning out over a small worker pool. The *commit* side
-// stays single-threaded and in deterministic region order (ascending
-// smallest-victim id — the shard ordering rule), which is what keeps the
-// Healer contract C4: a sharded-concurrent repair replays bit-identically
-// to a single-threaded one, because each RegionPlan is a pure function of
-// (core, victims) and the workers only decide *who* computes it, never
-// *what* it contains (pinned by tests/shard_determinism_test.cpp).
+// ShardedForest exploits that locality on both sides of the pipeline:
+//
+//   * Plan: it partitions a wave (core::StructuralCore::analyze_deletion),
+//     then fans the read-only per-region planning out over per-wave worker
+//     threads (set_workers).
+//   * Commit: it fans the per-region merges out over a persistent commit
+//     pool (set_commit_workers). This is safe because the plan carries an
+//     *arena-id reservation*: every vnode handle the commit allocates is
+//     fixed at plan time by region order alone, so concurrent merges write
+//     disjoint, pre-grown parts of the arena, and the shared-state side
+//     effects (image edges, counters) are recorded per region and applied
+//     by a final single-threaded stitch in deterministic region order.
+//
+// Both fan-outs preserve the Healer contract C4, strengthened from
+// "single-threaded commit" to "schedule-independent commit": the healed
+// structure — checkpoint bytes included — is a pure function of the input
+// partition, never of scheduling; the workers only decide *who* computes a
+// region's plan or applies its merge, never *what* it contains (pinned by
+// tests/shard_determinism_test.cpp and tests/arena_reservation_test.cpp,
+// in Release/Debug and under the TSan preset).
 //
 // It also remembers, per committed wave, which region every victim and
 // every newly built RT belonged to — the assignment trace `r` lines record
 // so a replay divergence can be localized to one region.
 #pragma once
 
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <mutex>
 #include <span>
+#include <thread>
 #include <unordered_map>
 #include <vector>
 
@@ -32,7 +50,52 @@
 
 namespace fg {
 
-/// Region partitioning + concurrent planning + shard bookkeeping.
+/// A persistent pool of `workers - 1` background threads for drain-style
+/// jobs: every participant (the caller included) pulls work items off a
+/// shared atomic counter inside the job closure, so participation is
+/// symmetric and completion is a property of the *work*, not the threads.
+/// Spawned once per set_commit_workers call, not per wave — a commit pays
+/// one notify, not thread creation.
+///
+/// dispatch() is fire-and-forget: it hands the pool a copy of the job and
+/// wakes the threads, but never blocks on them. The caller runs the job
+/// itself and then waits only until the job's own completion condition
+/// holds (e.g. a merged-regions counter with release/acquire ordering —
+/// ShardedForest::commit below). A worker that wakes late finds the work
+/// counter exhausted and returns without touching anything but the job's
+/// shared_ptr-owned context, so a stale job is a no-op, never a dangling
+/// reference — and the caller's critical path never waits for a thread to
+/// park, which is what keeps w > 1 commits close to w = 1 even on a
+/// single-core box.
+class CommitPool {
+ public:
+  explicit CommitPool(int background);
+  ~CommitPool();
+
+  CommitPool(const CommitPool&) = delete;
+  CommitPool& operator=(const CommitPool&) = delete;
+
+  /// Hand `job` to every background thread and return immediately. The
+  /// job must be drain-style: safe to run concurrently on all threads, a
+  /// no-op once its work counter is exhausted, and owning (via shared_ptr
+  /// capture) any state a late waker could still touch.
+  void dispatch(std::function<void()> job);
+
+ private:
+  void worker();
+
+  std::mutex mutex_;
+  std::condition_variable wake_;
+  std::condition_variable parked_cv_;
+  std::function<void()> job_;
+  uint64_t generation_ = 0;
+  int parked_ = 0;
+  bool stop_ = false;
+  std::vector<std::thread> threads_;
+};
+
+/// Region partitioning + concurrent planning + parallel deterministic
+/// commit + shard bookkeeping.
 class ShardedForest {
  public:
   explicit ShardedForest(int workers = 1) { set_workers(workers); }
@@ -43,11 +106,29 @@ class ShardedForest {
   void set_workers(int n);
   int workers() const { return workers_; }
 
+  /// Worker threads used to merge disjoint regions concurrently during
+  /// commit: 1 merges inline; n > 1 keeps a persistent pool of n - 1
+  /// background threads. Any value replays byte-identical checkpoints —
+  /// the arena-id reservation makes the commit schedule-independent
+  /// (contract C4, docs/CONCURRENCY.md).
+  void set_commit_workers(int n);
+  int commit_workers() const { return commit_workers_; }
+
   /// Plan a deletion wave against `core`: bit-identical to
   /// core.plan_deletion(victims, split) at every worker count.
   core::RepairPlan plan(const core::StructuralCore& core,
                         std::span<const NodeId> victims,
                         core::RegionSplit split = core::RegionSplit::kPerRegion) const;
+
+  /// Commit the merge phase of a reserved plan whose break phase already
+  /// ran (core.commit_break, kReserved): merge disjoint regions on the
+  /// commit pool, then stitch their recorded side effects single-threaded
+  /// in region id order, verify the reservation settled, and record the
+  /// shard bookkeeping. Returns each region's final RT root, aligned with
+  /// plan.regions.
+  std::vector<VNodeId> commit(core::StructuralCore& core,
+                              const core::RepairPlan& plan,
+                              std::vector<std::vector<VNodeId>>&& pieces);
 
   /// Record a committed plan: the wave's victim -> region assignment and
   /// each final RT root's region id. `region_roots` is aligned with
@@ -66,6 +147,10 @@ class ShardedForest {
 
  private:
   int workers_ = 1;
+  int commit_workers_ = 1;
+  std::unique_ptr<CommitPool> commit_pool_;
+  /// Per-region side-effect buffers, reused across waves (scratch pooling).
+  std::vector<core::StructuralCore::MergeEffects> effects_scratch_;
   std::unordered_map<VNodeId, int> region_of_root_;
   std::vector<int> last_assignment_;
 };

@@ -6,6 +6,16 @@
 
 namespace fg {
 
+namespace {
+
+/// A reserved-but-unconstructed placeholder: dead with no owner. Tombstones
+/// keep their (real, >= 0) owner, so the two dead states never collide.
+bool is_placeholder(const VirtualForest::VNode& n) {
+  return !n.alive && n.owner == kInvalidNode;
+}
+
+}  // namespace
+
 VNodeId VirtualForest::make_leaf(NodeId owner, NodeId other) {
   VNode n;
   n.owner = owner;
@@ -37,6 +47,61 @@ VNodeId VirtualForest::make_helper(NodeId owner, NodeId other, VNodeId left,
   nodes_[left].parent = id;
   nodes_[right].parent = id;
   return id;
+}
+
+VNodeId VirtualForest::reserve_range(int count) {
+  FG_CHECK_MSG(count >= 0, "negative reservation");
+  auto base = static_cast<VNodeId>(nodes_.size());
+  VNode placeholder;
+  placeholder.alive = false;  // owner stays kInvalidNode: see is_placeholder
+  nodes_.resize(nodes_.size() + static_cast<size_t>(count), placeholder);
+  // Credit the live count up front: construction may run concurrently and
+  // must not touch shared scalars, and every reserved handle is constructed
+  // before the commit settles (FG_CHECKed via unconstructed_in).
+  live_count_ += count;
+  return base;
+}
+
+void VirtualForest::make_leaf_in(VNodeId h, NodeId owner, NodeId other) {
+  FG_CHECK_MSG(h >= 0 && h < static_cast<VNodeId>(nodes_.size()),
+               "constructing outside the arena: reservation exhausted");
+  VNode& n = nodes_[static_cast<size_t>(h)];
+  FG_CHECK_MSG(is_placeholder(n), "handle is not an unconstructed reservation");
+  n.owner = owner;
+  n.other = other;
+  n.is_leaf = true;
+  n.rep = h;  // a real node is its own representative
+  n.alive = true;
+}
+
+VNodeId VirtualForest::make_helper_in(VNodeId h, NodeId owner, NodeId other,
+                                      VNodeId left, VNodeId right) {
+  FG_CHECK_MSG(h >= 0 && h < static_cast<VNodeId>(nodes_.size()),
+               "constructing outside the arena: reservation exhausted");
+  FG_CHECK(exists(left) && exists(right));
+  FG_CHECK_MSG(is_root(left) && is_root(right), "helper children must be roots");
+  VNode& n = nodes_[static_cast<size_t>(h)];
+  FG_CHECK_MSG(is_placeholder(n), "handle is not an unconstructed reservation");
+  n.owner = owner;
+  n.other = other;
+  n.is_leaf = false;
+  n.left = left;
+  n.right = right;
+  n.height = 1 + std::max(nodes_[left].height, nodes_[right].height);
+  n.leaf_count = nodes_[left].leaf_count + nodes_[right].leaf_count;
+  n.rep = nodes_[right].rep;  // Algorithm A.9: inherit the other tree's rep
+  n.alive = true;
+  nodes_[static_cast<size_t>(left)].parent = h;
+  nodes_[static_cast<size_t>(right)].parent = h;
+  return h;
+}
+
+int VirtualForest::unconstructed_in(VNodeId begin, VNodeId end) const {
+  FG_CHECK(begin >= 0 && begin <= end && end <= static_cast<VNodeId>(nodes_.size()));
+  int count = 0;
+  for (VNodeId h = begin; h < end; ++h)
+    if (is_placeholder(nodes_[static_cast<size_t>(h)])) ++count;
+  return count;
 }
 
 void VirtualForest::unlink_from_parent(VNodeId child) {

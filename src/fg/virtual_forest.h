@@ -72,6 +72,43 @@ class VirtualForest {
   /// (Algorithm A.9). Returns the new node.
   VNodeId make_helper(NodeId owner, NodeId other, VNodeId left, VNodeId right);
 
+  // --- Reservation-aware allocation (docs/CONCURRENCY.md). ----------------
+  //
+  // A reserved commit pre-computes, at plan time, exactly how many vnodes a
+  // repair will allocate and fixes every handle by region-order arithmetic
+  // alone. reserve_range appends that many *unconstructed* placeholder
+  // handles in one arena growth (single-threaded); make_leaf_in /
+  // make_helper_in then construct into a specific reserved handle. Because
+  // the arena never grows while reserved handles are being constructed, and
+  // two disjoint regions only ever touch their own handles, constructions
+  // may run concurrently — the layout, and hence the checkpoint bytes, are
+  // a pure function of the plan, never of scheduling (contract C4:
+  // schedule-independent commit).
+
+  /// Append `count` unconstructed reserved handles in one growth; returns
+  /// the first handle of the range (== the pre-call arena_size()).
+  /// Single-threaded; live_count() is credited here, so it assumes every
+  /// reserved handle will be constructed (checked by unconstructed_in).
+  VNodeId reserve_range(int count);
+
+  /// Construct the real (leaf) node of slot (owner, other) into the
+  /// reserved handle `h`. Fails loudly (FG_CHECK) if `h` was never
+  /// reserved, is out of range, or is already constructed — a reservation
+  /// can never silently grow or overwrite the arena.
+  void make_leaf_in(VNodeId h, NodeId owner, NodeId other);
+
+  /// Construct a helper into the reserved handle `h` (same semantics as
+  /// make_helper otherwise). Safe to call concurrently with other
+  /// make_*_in calls on *disjoint* handles/subtrees: it writes only the
+  /// reserved node and its two children's parent links, and the arena
+  /// storage is pre-grown by reserve_range.
+  VNodeId make_helper_in(VNodeId h, NodeId owner, NodeId other, VNodeId left,
+                         VNodeId right);
+
+  /// Unconstructed reserved handles left in [begin, end): 0 after a fully
+  /// settled commit (the commit path FG_CHECKs exactly that).
+  int unconstructed_in(VNodeId begin, VNodeId end) const;
+
   /// Detach `child` from its parent (both links cleared).
   void unlink_from_parent(VNodeId child);
 

@@ -17,9 +17,12 @@
 //       the strategy's repair to G alone.
 //   C4. Healers are deterministic given the schedule — the trace module can
 //       replay any run bit-identically for bisection. The Forgiving Graph's
-//       shard worker count is explicitly *not* part of the schedule:
-//       sharded-concurrent planning must replay byte-identical to
-//       single-threaded planning (tests/shard_determinism_test.cpp).
+//       worker counts are explicitly *not* part of the schedule: both
+//       sharded-concurrent planning (set_shard_workers) and the
+//       reservation-backed parallel commit (set_commit_workers) must replay
+//       byte-identical to a single-threaded engine — the schedule-
+//       independent commit property (docs/CONCURRENCY.md, pinned by
+//       tests/shard_determinism_test.cpp and arena_reservation_test.cpp).
 #pragma once
 
 #include <memory>

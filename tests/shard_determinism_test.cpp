@@ -67,11 +67,15 @@ TEST_P(ShardDeterminism, ConcurrentReplayIsBitIdentical) {
   ASSERT_EQ(loaded.size(), t.size());
 
   // Replay on sharded-concurrent engines: every worker count must land on
-  // the byte-identical checkpoint. The replay also re-checks every wave's
-  // recorded region assignment (trace `r` lines) along the way.
+  // the byte-identical checkpoint — on the plan side (set_shard_workers)
+  // and on the commit side (set_commit_workers), whose arena-id
+  // reservation is what makes concurrent region merges schedule-
+  // independent (contract C4, docs/CONCURRENCY.md). The replay also
+  // re-checks every wave's recorded region assignment (trace `r` lines).
   for (int workers : {1, 2, 4, 8}) {
     ForgivingGraphHealer replayed(g0);
     replayed.engine().set_shard_workers(workers);
+    replayed.engine().set_commit_workers(workers);
     loaded.replay(replayed);
     ASSERT_EQ(reference, checkpoint(replayed.engine()))
         << c.graph << "/" << c.adversary << " diverged with workers=" << workers;
@@ -107,6 +111,7 @@ TEST(ShardDeterminism, MixedScheduleWithInsertions) {
   ForgivingGraph single(g0);
   ForgivingGraph sharded(g0);
   sharded.set_shard_workers(4);
+  sharded.set_commit_workers(4);
 
   auto both_insert = [&](std::vector<NodeId> nbrs) {
     NodeId a = single.insert(nbrs);

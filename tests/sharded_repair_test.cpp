@@ -243,6 +243,7 @@ TEST(ShardedRepair, Er1024DisjointWave32BitIdentical) {
   ForgivingGraph sharded(g0);
   ForgivingGraphHealer probe(g0);
   sharded.set_shard_workers(4);
+  sharded.set_commit_workers(4);
   std::vector<NodeId> churned = churn(single, rng, 96);
   for (NodeId v : churned) {  // identical churn on the twins
     sharded.remove(v);
