@@ -146,6 +146,74 @@ void dist_wave(Table& t, Table& cost) {
   }
 }
 
+// Scenario F (R4): the adjacency substrate itself, isolated from repair
+// logic. edge_flip is the commit's hot loop (remove + re-add existing
+// edges, one at a time); edge_flip_batched drives the same flips through
+// apply_edge_deltas (the merge stitch's entry point — one grouped sweep
+// per touched node); adjacency_scan is the read side (full neighbor sweep
+// over sorted flat views). Tracked across PRs so adjacency regressions
+// bisect here instead of into the repair scenarios.
+void adjacency_micro(Table& t) {
+  constexpr int kN = 4096;
+  Rng rng(9);
+  Graph g = make_erdos_renyi(kN, 8.0 / kN, rng);
+  std::vector<EdgeDelta> edges;
+  for (NodeId v = 0; v < g.node_capacity(); ++v)
+    for (NodeId w : g.neighbors(v))
+      if (v < w) edges.push_back({v, w, EdgeDelta::Op::kRemove});
+  const int kFlips = static_cast<int>(edges.size());
+
+  for (const EdgeDelta& e : edges) {  // untimed warm-up (pool + page touch)
+    g.remove_edge(e.u, e.v);
+    g.add_edge(e.u, e.v);
+  }
+  auto t0 = std::chrono::steady_clock::now();
+  for (const EdgeDelta& e : edges) {
+    g.remove_edge(e.u, e.v);
+    g.add_edge(e.u, e.v);
+  }
+  record(t, "edge_flip", kN, 2 * kFlips, ms_since(t0));
+
+  std::vector<EdgeDelta> re_add = edges;
+  for (EdgeDelta& e : re_add) e.op = EdgeDelta::Op::kAdd;
+  t0 = std::chrono::steady_clock::now();
+  FG_CHECK(g.apply_edge_deltas(edges) == kFlips);
+  FG_CHECK(g.apply_edge_deltas(re_add) == kFlips);
+  record(t, "edge_flip_batched", kN, 2 * kFlips, ms_since(t0));
+
+  int64_t sum = 0;
+  t0 = std::chrono::steady_clock::now();
+  constexpr int kSweeps = 32;
+  for (int s = 0; s < kSweeps; ++s)
+    for (NodeId v = 0; v < g.node_capacity(); ++v)
+      for (NodeId w : g.neighbors(v)) sum += w;
+  double scan_ms = ms_since(t0);
+  FG_CHECK(sum != 0);
+  record(t, "adjacency_scan", kN, static_cast<int>(kSweeps * 2 * g.edge_count()),
+         scan_ms);
+
+  // The asymmetric case batching exists for: k flips against ONE sorted
+  // list (a hub teardown) cost O(degree * k) element moves per-edge but
+  // O(degree + k log k) through the grouped sweep — the same shape the
+  // commit's per-region image-edge drop hits when a high-degree processor
+  // dies.
+  constexpr int kHub = 16384;
+  std::vector<EdgeDelta> spokes;
+  for (NodeId v = 1; v <= kHub; ++v) spokes.push_back({0, v, EdgeDelta::Op::kRemove});
+  {
+    Graph star = make_star(kHub + 1);
+    t0 = std::chrono::steady_clock::now();
+    for (const EdgeDelta& e : spokes) star.remove_edge(e.u, e.v);
+    record(t, "hub_teardown", kHub, kHub, ms_since(t0));
+  }
+  {
+    Graph star = make_star(kHub + 1);
+    t0 = std::chrono::steady_clock::now();
+    FG_CHECK(star.apply_edge_deltas(spokes) == kHub);
+    record(t, "hub_teardown_batched", kHub, kHub, ms_since(t0));
+  }
+}
+
 // Scenario E: the star-hub merge — one deletion creating an RT over n-1
 // equal-sized pieces, the workload where the k-way bottom-up planner
 // replaces the O(k^2) sorted-list erase/insert churn (the BM_ForgivingGraph-
@@ -318,6 +386,7 @@ int main() {
   rt_breakup(t);
   wave(t);
   dist_wave(t, cost);
+  adjacency_micro(t);
   star_hub_merge(t);
   sharded_wave(t, cost);
   t.print(std::cout);

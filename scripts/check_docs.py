@@ -12,6 +12,11 @@
    literally appear in that header, and the canonical contract-C4 wording
    ("schedule-independent commit") must appear both in the doc and in the
    headers that claim it.
+4. The Graph access API stays in sync: the sorted-view surface
+   (NeighborView, EdgeDelta, apply_edge_deltas, ...) must appear both in
+   docs/API.md and as code tokens in src/graph/graph.h, FlatCountMap must
+   exist and be named by docs/DESIGN.md, and unordered_set must never
+   reappear in the Graph header.
 
 Exits non-zero with a per-problem report on any violation.
 """
@@ -150,15 +155,68 @@ def check_concurrency_sync():
     return problems
 
 
+# The Graph access API gate: the sorted-view surface documented in
+# docs/API.md and docs/DESIGN.md must exist as code tokens in its header,
+# and the redesign's acceptance criterion — no unordered_set anywhere in
+# the Graph public API — is pinned here so it cannot silently regress.
+GRAPH_API_NAMES = (
+    "NeighborView",
+    "EdgeDelta",
+    "apply_edge_deltas",
+    "for_each_neighbor",
+    "neighbors",
+)
+GRAPH_HEADER = "src/graph/graph.h"
+FLAT_MAP_HEADER = "src/util/flat_count_map.h"
+
+
+def check_graph_api_sync():
+    problems = []
+    header = REPO / GRAPH_HEADER
+    api_md = (REPO / "docs" / "API.md").read_text()
+    design_md = (REPO / "docs" / "DESIGN.md").read_text()
+    if not header.exists():
+        return [f"{GRAPH_HEADER}: missing, but the docs document its API"]
+    code = header_code(header)
+    for name in GRAPH_API_NAMES:
+        if not re.search(r"\b" + re.escape(name) + r"\b", code):
+            problems.append(
+                f"{GRAPH_HEADER}: documented Graph API name `{name}` does not "
+                "appear in its code — update docs/API.md or the header")
+        if name not in api_md:
+            problems.append(
+                f"docs/API.md: Graph API name `{name}` is undocumented — the "
+                "Graph section must cover the full access surface")
+    if re.search(r"\bunordered_set\b", code):
+        problems.append(
+            f"{GRAPH_HEADER}: unordered_set crept back into the Graph API — "
+            "neighbors() must stay a sorted flat view (docs/DESIGN.md, "
+            "'Graph substrate')")
+    flat_map = REPO / FLAT_MAP_HEADER
+    if not flat_map.exists():
+        problems.append(
+            f"{FLAT_MAP_HEADER}: missing, but docs/DESIGN.md documents the "
+            "flat multiplicity map")
+    elif not re.search(r"\bFlatCountMap\b", header_code(flat_map)):
+        problems.append(f"{FLAT_MAP_HEADER}: FlatCountMap not found in its code")
+    if "FlatCountMap" not in design_md:
+        problems.append(
+            "docs/DESIGN.md: the substrate section must name FlatCountMap "
+            "(the image-multiplicity representation)")
+    return problems
+
+
 def main():
-    problems = check_links() + check_snippet_sync() + check_concurrency_sync()
+    problems = (check_links() + check_snippet_sync() + check_concurrency_sync() +
+                check_graph_api_sync())
     for p in problems:
         print(p, file=sys.stderr)
     if problems:
         sys.exit(1)
     print(f"docs OK: {sum(1 for _ in markdown_files())} markdown files, "
           "links resolve, example snippets in sync, CONCURRENCY.md API names "
-          "and C4 wording match the headers")
+          "and C4 wording match the headers, Graph view API in sync (no "
+          "unordered_set in the surface)")
 
 
 if __name__ == "__main__":

@@ -13,10 +13,11 @@ namespace fg::core {
 
 StructuralCore::StructuralCore(const Graph& g0) : gprime_(g0), g_(g0) {
   procs_.resize(static_cast<size_t>(g0.node_capacity()));
+  image_multiplicity_.reserve(static_cast<size_t>(g0.edge_count()));
   for (NodeId v = 0; v < g0.node_capacity(); ++v) {
     FG_CHECK_MSG(g0.is_alive(v), "initial graph must have no tombstones");
     for (NodeId w : g0.neighbors(v))
-      if (v < w) ++image_multiplicity_[edge_key(v, w)];
+      if (v < w) image_multiplicity_.increment(edge_key(v, w));
   }
 }
 
@@ -27,19 +28,12 @@ uint64_t StructuralCore::edge_key(NodeId u, NodeId v) {
 
 void StructuralCore::add_image_edge(NodeId u, NodeId v) {
   if (u == v) return;  // homomorphism collapses same-processor virtual edges
-  int& m = image_multiplicity_[edge_key(u, v)];
-  if (++m == 1) g_.add_edge(u, v);
+  if (image_multiplicity_.increment(edge_key(u, v)) == 1) g_.add_edge(u, v);
 }
 
 void StructuralCore::remove_image_edge(NodeId u, NodeId v) {
   if (u == v) return;
-  auto it = image_multiplicity_.find(edge_key(u, v));
-  FG_CHECK_MSG(it != image_multiplicity_.end() && it->second > 0,
-               "removing an image edge that is not present");
-  if (--it->second == 0) {
-    image_multiplicity_.erase(it);
-    g_.remove_edge(u, v);
-  }
+  if (image_multiplicity_.decrement(edge_key(u, v)) == 0) g_.remove_edge(u, v);
 }
 
 NodeId StructuralCore::insert_node(std::span<const NodeId> neighbors) {
@@ -48,11 +42,11 @@ NodeId StructuralCore::insert_node(std::span<const NodeId> neighbors) {
   NodeId id2 = g_.add_node();
   FG_CHECK(id == id2);
   procs_.emplace_back();
-  std::unordered_set<NodeId> seen;
   for (NodeId y : neighbors) {
     FG_CHECK_MSG(g_.is_alive(y), "insertion neighbor must be alive");
-    FG_CHECK_MSG(seen.insert(y).second, "duplicate insertion neighbor");
-    gprime_.add_edge(id, y);
+    // add_edge rejects an edge that already exists, so a duplicate in the
+    // span surfaces here — no side lookup table needed.
+    FG_CHECK_MSG(gprime_.add_edge(id, y), "duplicate insertion neighbor");
     add_image_edge(id, y);
   }
   return id;
@@ -357,10 +351,17 @@ std::vector<std::vector<VNodeId>> StructuralCore::commit_break(const RepairPlan&
 
     // Spawn the anchor leaves and drop the victims' surviving image edges.
     // Under kReserved the j-th fresh leaf lands at its plan-time handle
-    // arena_base + j; the region's helpers follow in the same range.
+    // arena_base + j; the region's helpers follow in the same range. The
+    // edge drops are batched: multiplicities update inline, but the 1 -> 0
+    // transitions collect into the pooled delta buffer and flip in one
+    // apply_edge_deltas sweep per region — nothing below reads or adds
+    // image edges, so the deferral is invisible (and a hub teardown costs
+    // O(degree), not O(degree^2) sorted-list erases).
+    delta_scratch_.clear();
     int fresh_at = region.arena_base;
     for (const RegionPlan::FreshLeaf& f : region.fresh) {
-      remove_image_edge(f.dead, f.owner);
+      if (image_multiplicity_.decrement(edge_key(f.dead, f.owner)) == 0)
+        delta_scratch_.push_back({f.dead, f.owner, EdgeDelta::Op::kRemove});
       VNodeId leaf;
       if (alloc == CommitAlloc::kReserved) {
         leaf = fresh_at++;
@@ -380,7 +381,10 @@ std::vector<std::vector<VNodeId>> StructuralCore::commit_break(const RepairPlan&
     // are in this region (G'-adjacent victims always share one).
     for (NodeId v : region.victims)
       for (NodeId y : gprime_.neighbors(v))
-        if (v < y && victim_set.contains(y)) remove_image_edge(v, y);
+        if (v < y && victim_set.contains(y) &&
+            image_multiplicity_.decrement(edge_key(v, y)) == 0)
+          delta_scratch_.push_back({v, y, EdgeDelta::Op::kRemove});
+    g_.apply_edge_deltas(delta_scratch_);
 
     last_repair_.pieces += static_cast<int>(out.size());
     FG_CHECK_MSG(out.size() == region.pieces.size(),
@@ -452,7 +456,16 @@ VNodeId StructuralCore::merge_region(const RegionPlan& region,
 }
 
 VNodeId StructuralCore::apply_merge_effects(const MergeEffects& effects) {
-  for (const auto& [u, v] : effects.image_edges) add_image_edge(u, v);
+  // The batched stitch: bump every multiplicity first, collecting only the
+  // 0 -> 1 transitions, then flip the image edges in one
+  // Graph::apply_edge_deltas pass over the pooled delta buffer.
+  delta_scratch_.clear();
+  for (const auto& [u, v] : effects.image_edges) {
+    if (u == v) continue;  // homomorphism collapses same-processor edges
+    if (image_multiplicity_.increment(edge_key(u, v)) == 1)
+      delta_scratch_.push_back({u, v, EdgeDelta::Op::kAdd});
+  }
+  g_.apply_edge_deltas(delta_scratch_);
   last_repair_.helpers_created += effects.helpers_created;
   if (effects.root != kNoVNode) finish_repair(effects.root);
   return effects.root;
@@ -598,12 +611,13 @@ StructuralCore StructuralCore::load(std::istream& is) {
   expect("edges");
   int64_t edges = 0;
   FG_CHECK(static_cast<bool>(is >> edges) && edges >= 0);
+  core.image_multiplicity_.reserve(static_cast<size_t>(edges));
   for (int64_t i = 0; i < edges; ++i) {
     NodeId u = kInvalidNode, w = kInvalidNode;
     FG_CHECK(static_cast<bool>(is >> u >> w));
     core.gprime_.add_edge(u, w);
     if (core.g_.is_alive(u) && core.g_.is_alive(w)) {
-      ++core.image_multiplicity_[edge_key(u, w)];
+      core.image_multiplicity_.increment(edge_key(u, w));
       core.g_.add_edge(u, w);
     }
   }

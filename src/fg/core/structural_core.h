@@ -71,6 +71,7 @@
 #include "fg/virtual_forest.h"
 #include "graph/graph.h"
 #include "haft/haft.h"
+#include "util/flat_count_map.h"
 
 namespace fg::core {
 
@@ -408,7 +409,13 @@ class StructuralCore {
   Graph g_;
   VirtualForest forest_;
   std::vector<Proc> procs_;
-  std::unordered_map<uint64_t, int> image_multiplicity_;
+  /// Multiplicity of every healed-image edge (flat open addressing — an
+  /// edge flip probes a contiguous cell array, no hash-node allocation).
+  util::FlatCountMap image_multiplicity_;
+  /// Reusable buffer for the batched image-edge stitch (apply_merge_effects
+  /// collects a region's 0 -> 1 transitions here, then hands the whole span
+  /// to Graph::apply_edge_deltas). Pooled wave to wave.
+  std::vector<EdgeDelta> delta_scratch_;
   RepairStats last_repair_;
   uint64_t epoch_ = 0;  ///< See mutation_epoch().
 };

@@ -6,6 +6,11 @@
 
 namespace fg {
 
+bool NeighborView::contains(NodeId w) const {
+  const NodeId* it = std::lower_bound(first_, last_, w);
+  return it != last_ && *it == w;
+}
+
 Graph::Graph(int n) {
   FG_CHECK(n >= 0);
   adj_.resize(static_cast<size_t>(n));
@@ -25,15 +30,102 @@ void Graph::ensure_node(NodeId id) {
   while (node_capacity() <= id) add_node();
 }
 
+const NodeId* Graph::adj_data(const AdjSlot& s) const {
+  return s.cap == kInlineCap ? s.inl : pool_.data() + s.spill;
+}
+
+NodeId* Graph::adj_data(AdjSlot& s) {
+  return s.cap == kInlineCap ? s.inl : pool_.data() + s.spill;
+}
+
+int Graph::size_class(int32_t cap) {
+  int cls = 0;
+  for (int32_t c = kSpillMinCap; c < cap; c <<= 1) ++cls;
+  return cls;
+}
+
+uint32_t Graph::pool_alloc(int32_t cap) {
+  int cls = size_class(cap);
+  if (static_cast<size_t>(cls) < free_lists_.size() && !free_lists_[static_cast<size_t>(cls)].empty()) {
+    uint32_t offset = free_lists_[static_cast<size_t>(cls)].back();
+    free_lists_[static_cast<size_t>(cls)].pop_back();
+    return offset;
+  }
+  size_t offset = pool_.size();
+  pool_.resize(offset + static_cast<size_t>(cap));
+  return static_cast<uint32_t>(offset);
+}
+
+void Graph::pool_free(uint32_t offset, int32_t cap) {
+  size_t cls = static_cast<size_t>(size_class(cap));
+  if (free_lists_.size() <= cls) free_lists_.resize(cls + 1);
+  free_lists_[cls].push_back(offset);
+}
+
+void Graph::grow_slot(AdjSlot& s) {
+  int32_t new_cap = s.cap == kInlineCap ? kSpillMinCap : s.cap * 2;
+  // Allocate before reading the old block: pool_alloc may move the pool,
+  // but offsets are stable, so re-derive pointers afterwards.
+  uint32_t new_offset = pool_alloc(new_cap);
+  const NodeId* old = s.cap == kInlineCap ? s.inl : pool_.data() + s.spill;
+  std::copy(old, old + s.degree, pool_.begin() + new_offset);
+  if (s.cap != kInlineCap) pool_free(s.spill, s.cap);
+  s.spill = new_offset;
+  s.cap = new_cap;
+}
+
+void Graph::reserve_slot_discard(AdjSlot& s, int32_t need) {
+  if (need <= s.cap) return;
+  int32_t new_cap = s.cap == kInlineCap ? kSpillMinCap : s.cap;
+  while (new_cap < need) new_cap *= 2;
+  uint32_t new_offset = pool_alloc(new_cap);
+  if (s.cap != kInlineCap) pool_free(s.spill, s.cap);
+  s.spill = new_offset;
+  s.cap = new_cap;
+}
+
+void Graph::release_slot(AdjSlot& s) {
+  if (s.cap != kInlineCap) pool_free(s.spill, s.cap);
+  s = AdjSlot{};
+}
+
+bool Graph::insert_neighbor(NodeId v, NodeId w) {
+  AdjSlot& s = adj_[static_cast<size_t>(v)];
+  NodeId* data = adj_data(s);
+  NodeId* it = std::lower_bound(data, data + s.degree, w);
+  if (it != data + s.degree && *it == w) return false;
+  size_t idx = static_cast<size_t>(it - data);
+  if (s.degree == s.cap) {
+    grow_slot(s);
+    data = adj_data(s);
+  }
+  std::copy_backward(data + idx, data + s.degree, data + s.degree + 1);
+  data[idx] = w;
+  ++s.degree;
+  return true;
+}
+
+bool Graph::erase_neighbor(NodeId v, NodeId w) {
+  AdjSlot& s = adj_[static_cast<size_t>(v)];
+  NodeId* data = adj_data(s);
+  NodeId* it = std::lower_bound(data, data + s.degree, w);
+  if (it == data + s.degree || *it != w) return false;
+  std::copy(it + 1, data + s.degree, it);
+  --s.degree;
+  return true;
+}
+
 void Graph::remove_node(NodeId v) {
   check_valid(v);
-  FG_CHECK_MSG(alive_[v], "removing a dead node");
-  for (NodeId u : adj_[v]) {
-    adj_[u].erase(v);
+  FG_CHECK_MSG(alive_[static_cast<size_t>(v)], "removing a dead node");
+  // erase_neighbor never allocates, so v's own list stays put while its
+  // neighbors' lists are edited.
+  for (NodeId u : neighbors(v)) {
+    erase_neighbor(u, v);
     --edge_count_;
   }
-  adj_[v].clear();
-  alive_[v] = 0;
+  release_slot(adj_[static_cast<size_t>(v)]);
+  alive_[static_cast<size_t>(v)] = 0;
   --alive_count_;
 }
 
@@ -41,10 +133,10 @@ bool Graph::add_edge(NodeId u, NodeId v) {
   check_valid(u);
   check_valid(v);
   FG_CHECK_MSG(u != v, "self loop");
-  FG_CHECK_MSG(alive_[u] && alive_[v], "edge endpoint is dead");
-  if (adj_[u].contains(v)) return false;
-  adj_[u].insert(v);
-  adj_[v].insert(u);
+  FG_CHECK_MSG(alive_[static_cast<size_t>(u)] && alive_[static_cast<size_t>(v)],
+               "edge endpoint is dead");
+  if (!insert_neighbor(u, v)) return false;
+  insert_neighbor(v, u);
   ++edge_count_;
   return true;
 }
@@ -52,39 +144,125 @@ bool Graph::add_edge(NodeId u, NodeId v) {
 bool Graph::remove_edge(NodeId u, NodeId v) {
   check_valid(u);
   check_valid(v);
-  if (!adj_[u].contains(v)) return false;
-  adj_[u].erase(v);
-  adj_[v].erase(u);
+  if (!erase_neighbor(u, v)) return false;
+  erase_neighbor(v, u);
   --edge_count_;
   return true;
+}
+
+int Graph::apply_edge_deltas(std::span<const EdgeDelta> deltas) {
+  if (deltas.empty()) return 0;
+  touch_scratch_.clear();
+  touch_scratch_.reserve(2 * deltas.size());
+  for (const EdgeDelta& d : deltas) {
+    check_valid(d.u);
+    check_valid(d.v);
+    if (d.op == EdgeDelta::Op::kAdd) {
+      FG_CHECK_MSG(d.u != d.v, "self loop");
+      FG_CHECK_MSG(alive_[static_cast<size_t>(d.u)] && alive_[static_cast<size_t>(d.v)],
+                   "edge endpoint is dead");
+    }
+    touch_scratch_.push_back(pack_touch(d.u, d.v, d.op));
+    touch_scratch_.push_back(pack_touch(d.v, d.u, d.op));
+  }
+  std::sort(touch_scratch_.begin(), touch_scratch_.end());
+#ifndef NDEBUG
+  for (size_t i = 1; i < touch_scratch_.size(); ++i)
+    FG_DCHECK((touch_scratch_[i - 1] >> 1) != (touch_scratch_[i] >> 1));
+#endif
+  int added = 0;
+  int removed = 0;
+  for (size_t i = 0; i < touch_scratch_.size();) {
+    size_t j = i;
+    NodeId node = touch_node(touch_scratch_[i]);
+    while (j < touch_scratch_.size() && touch_node(touch_scratch_[j]) == node) ++j;
+    if (j - i == 1) {
+      // Single flip on this node: a direct sorted insert/erase beats a
+      // whole-list rebuild.
+      Touch t = touch_scratch_[i];
+      NodeId other = touch_other(t);
+      bool changed =
+          touch_is_add(t) ? insert_neighbor(node, other) : erase_neighbor(node, other);
+      if (changed && node < other) ++(touch_is_add(t) ? added : removed);
+    } else {
+      merge_touches(node, std::span<const Touch>(touch_scratch_.data() + i, j - i),
+                    &added, &removed);
+    }
+    i = j;
+  }
+  edge_count_ += added - removed;
+  return added + removed;
+}
+
+void Graph::merge_touches(NodeId node, std::span<const Touch> touches, int* added,
+                          int* removed) {
+  AdjSlot& s = adj_[static_cast<size_t>(node)];
+  const NodeId* data = adj_data(s);
+  merge_scratch_.clear();
+  size_t t = 0;
+  for (int i = 0; i < s.degree || t < touches.size();) {
+    if (t == touches.size() || (i < s.degree && data[i] < touch_other(touches[t]))) {
+      merge_scratch_.push_back(data[i++]);
+      continue;
+    }
+    Touch touch = touches[t++];
+    NodeId other = touch_other(touch);
+    bool present = i < s.degree && data[i] == other;
+    // Count each edge once, at its node < other endpoint (ids differ, so
+    // exactly one of the two touches qualifies).
+    bool primary = node < other;
+    if (touch_is_add(touch)) {
+      merge_scratch_.push_back(other);  // keep (duplicate add: no-op)
+      if (present)
+        ++i;
+      else if (primary)
+        ++*added;
+    } else if (present) {
+      ++i;  // drop it
+      if (primary) ++*removed;
+    }  // remove of an absent edge: no-op
+  }
+  int32_t new_degree = static_cast<int32_t>(merge_scratch_.size());
+  reserve_slot_discard(s, new_degree);  // old contents live in merge_scratch_
+  std::copy(merge_scratch_.begin(), merge_scratch_.end(), adj_data(s));
+  s.degree = new_degree;
 }
 
 bool Graph::has_edge(NodeId u, NodeId v) const {
   check_valid(u);
   check_valid(v);
-  return adj_[u].contains(v);
+  // Search the smaller list.
+  const AdjSlot& su = adj_[static_cast<size_t>(u)];
+  const AdjSlot& sv = adj_[static_cast<size_t>(v)];
+  const AdjSlot& s = su.degree <= sv.degree ? su : sv;
+  NodeId w = su.degree <= sv.degree ? v : u;
+  const NodeId* data = adj_data(s);
+  const NodeId* it = std::lower_bound(data, data + s.degree, w);
+  return it != data + s.degree && *it == w;
 }
 
 bool Graph::is_alive(NodeId v) const {
   if (v < 0 || v >= node_capacity()) return false;
-  return alive_[v] != 0;
+  return alive_[static_cast<size_t>(v)] != 0;
 }
 
 int Graph::degree(NodeId v) const {
   check_valid(v);
-  return static_cast<int>(adj_[v].size());
+  return adj_[static_cast<size_t>(v)].degree;
 }
 
-const std::unordered_set<NodeId>& Graph::neighbors(NodeId v) const {
+NeighborView Graph::neighbors(NodeId v) const {
   check_valid(v);
-  return adj_[v];
+  const AdjSlot& s = adj_[static_cast<size_t>(v)];
+  const NodeId* data = adj_data(s);
+  return NeighborView(data, data + s.degree);
 }
 
 std::vector<NodeId> Graph::alive_nodes() const {
   std::vector<NodeId> out;
   out.reserve(static_cast<size_t>(alive_count_));
   for (NodeId v = 0; v < node_capacity(); ++v)
-    if (alive_[v]) out.push_back(v);
+    if (alive_[static_cast<size_t>(v)]) out.push_back(v);
   return out;
 }
 
@@ -93,12 +271,14 @@ bool Graph::same_topology(const Graph& other) const {
   if (edge_count_ != other.edge_count_) return false;
   int cap = std::min(node_capacity(), other.node_capacity());
   for (NodeId v = 0; v < node_capacity(); ++v)
-    if (alive_[v] && (v >= cap || !other.alive_[v])) return false;
+    if (is_alive(v) && (v >= cap || !other.is_alive(v))) return false;
   for (NodeId v = 0; v < other.node_capacity(); ++v)
-    if (other.alive_[v] && (v >= cap || !alive_[v])) return false;
+    if (other.is_alive(v) && (v >= cap || !is_alive(v))) return false;
   for (NodeId v = 0; v < cap; ++v) {
-    if (!alive_[v]) continue;
-    if (adj_[v] != other.adj_[v]) return false;
+    if (!is_alive(v)) continue;
+    NeighborView a = neighbors(v);
+    NeighborView b = other.neighbors(v);
+    if (a.size() != b.size() || !std::equal(a.begin(), a.end(), b.begin())) return false;
   }
   return true;
 }

@@ -22,8 +22,10 @@ NodeId BaselineHealer::insert(std::span<const NodeId> neighbors) {
 
 void BaselineHealer::remove(NodeId v) {
   FG_CHECK(g_.is_alive(v));
-  std::vector<NodeId> neighbors(g_.neighbors(v).begin(), g_.neighbors(v).end());
-  std::sort(neighbors.begin(), neighbors.end());
+  // NeighborView is already sorted; copy only because remove_node
+  // invalidates views.
+  NeighborView view = g_.neighbors(v);
+  std::vector<NodeId> neighbors(view.begin(), view.end());
   g_.remove_node(v);
   heal_after(v, neighbors);
 }

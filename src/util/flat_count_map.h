@@ -1,0 +1,117 @@
+// Open-addressing multiplicity map: uint64 key -> positive int32 count.
+//
+// The structural core's image-multiplicity table lives here (one entry per
+// distinct healed-image edge). Flat storage, linear probing, backward-shift
+// deletion — an edge flip is a probe over a contiguous cell array instead
+// of an unordered_map hash-node allocation/free, which is what made the
+// commit phase allocation-bound (ROADMAP "next perf candidates").
+//
+// Key 0 is reserved as the empty marker; edge keys are slot_key(u, v) with
+// u < v, whose low word is v >= 1, so 0 never occurs as a real key.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "util/check.h"
+
+namespace fg::util {
+
+class FlatCountMap {
+ public:
+  /// Bump key's count (inserting at 1) and return the new count.
+  int32_t increment(uint64_t key) {
+    FG_DCHECK(key != 0);
+    if ((size_ + 1) * 8 > cells_.size() * 7) grow();
+    size_t i = find_slot(key);
+    if (cells_[i].key == 0) {
+      cells_[i].key = key;
+      ++size_;
+    }
+    return ++cells_[i].count;
+  }
+
+  /// Drop key's count (erasing at 0) and return the new count. The key
+  /// must be present — decrementing an absent key is a bookkeeping bug.
+  int32_t decrement(uint64_t key) {
+    FG_DCHECK(key != 0);
+    FG_CHECK_MSG(!cells_.empty(), "decrement on an empty count map");
+    size_t i = find_slot(key);
+    FG_CHECK_MSG(cells_[i].key == key, "decrement of an absent key");
+    int32_t left = --cells_[i].count;
+    if (left == 0) erase_at(i);
+    return left;
+  }
+
+  /// The count stored for key (0 if absent).
+  int32_t count(uint64_t key) const {
+    if (cells_.empty()) return 0;
+    size_t i = find_slot(key);
+    return cells_[i].key == key ? cells_[i].count : 0;
+  }
+
+  /// Number of distinct keys.
+  size_t size() const { return size_; }
+
+  void reserve(size_t n) {
+    size_t need = 16;
+    while (need * 7 < n * 8) need <<= 1;
+    if (need > cells_.size()) rehash(need);
+  }
+
+ private:
+  struct Cell {
+    uint64_t key = 0;
+    int32_t count = 0;
+  };
+
+  /// Fibonacci-hashed home slot (capacity is a power of two).
+  size_t home_of(uint64_t key) const {
+    return static_cast<size_t>((key * 0x9E3779B97F4A7C15ull) >> 32) & mask_;
+  }
+
+  /// First slot holding key, or the empty slot where it would insert.
+  size_t find_slot(uint64_t key) const {
+    size_t i = home_of(key);
+    while (cells_[i].key != 0 && cells_[i].key != key) i = (i + 1) & mask_;
+    return i;
+  }
+
+  /// Backward-shift deletion: pull displaced entries of the probe chain
+  /// over the hole so lookups never need tombstones.
+  void erase_at(size_t i) {
+    size_t hole = i;
+    size_t k = i;
+    while (true) {
+      k = (k + 1) & mask_;
+      uint64_t key = cells_[k].key;
+      if (key == 0) break;
+      size_t home = home_of(key);
+      if (((k - home) & mask_) >= ((k - hole) & mask_)) {
+        cells_[hole] = cells_[k];
+        hole = k;
+      }
+    }
+    cells_[hole] = Cell{};
+    --size_;
+  }
+
+  void grow() { rehash(cells_.empty() ? 16 : cells_.size() * 2); }
+
+  void rehash(size_t new_cap) {
+    std::vector<Cell> old = std::move(cells_);
+    cells_.assign(new_cap, Cell{});
+    mask_ = new_cap - 1;
+    for (const Cell& c : old) {
+      if (c.key == 0) continue;
+      size_t i = find_slot(c.key);
+      cells_[i] = c;
+    }
+  }
+
+  std::vector<Cell> cells_;
+  size_t mask_ = 0;
+  size_t size_ = 0;
+};
+
+}  // namespace fg::util

@@ -1,0 +1,146 @@
+// Golden-output determinism for the user-facing emitters.
+//
+// examples/simulate and examples/visualize_rt print live data-structure
+// state. Before the sorted-NeighborView redesign this output was
+// stdlib-dependent: repair plans consumed `unordered_set` iteration order,
+// so vnode arena handles — and every DOT label and metric row derived from
+// them — could differ between standard libraries. Views are now sorted by
+// construction, so the exact bytes are part of the contract; this test
+// replays both examples' output pipelines and pins them. If a deliberate
+// algorithm change shifts these goldens, regenerate them and say so in the
+// commit — an *unexplained* diff here is a determinism regression.
+#include <sstream>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "adversary/adversary.h"
+#include "fg/forgiving_graph.h"
+#include "graph/generators.h"
+#include "harness/experiment.h"
+#include "haft/haft.h"
+#include "heal/healer.h"
+#include "util/table.h"
+
+namespace fg {
+namespace {
+
+// The examples/visualize_rt pipeline: DOT for every RT root of the forest.
+std::string dump_rts(const ForgivingGraph& network) {
+  std::string out;
+  const VirtualForest& f = network.forest();
+  for (VNodeId h = 0; h < f.arena_size(); ++h)
+    if (f.exists(h) && f.node(h).parent == kNoVNode) out += f.to_dot(h);
+  return out;
+}
+
+TEST(GoldenOutput, VisualizeRtPathMergeIsPinned) {
+  // examples/visualize_rt stage 1-2: path 0-1-2-3-4-5, delete 2 then 3.
+  ForgivingGraph network(make_path(6));
+  network.remove(2);
+  EXPECT_EQ(dump_rts(network),
+            "digraph RT {\n"
+            "  rankdir=TB;\n"
+            "  n2 [label=\"(1,2)\", shape=ellipse];\n"
+            "  n2 -> n0;\n"
+            "  n2 -> n1;\n"
+            "  n0 [label=\"(1,2)\", shape=box];\n"
+            "  n1 [label=\"(3,2)\", shape=box];\n"
+            "}\n");
+  network.remove(3);
+  EXPECT_EQ(dump_rts(network),
+            "digraph RT {\n"
+            "  rankdir=TB;\n"
+            "  n4 [label=\"(1,2)\", shape=ellipse];\n"
+            "  n4 -> n0;\n"
+            "  n4 -> n3;\n"
+            "  n0 [label=\"(1,2)\", shape=box];\n"
+            "  n3 [label=\"(4,3)\", shape=box];\n"
+            "}\n");
+}
+
+TEST(GoldenOutput, VisualizeRtStarHubHaftIsPinned) {
+  // examples/visualize_rt stage 3: the Figure-2 haft over 8 leaves. The
+  // anchor-leaf order (and so every arena handle) comes from the sorted
+  // G' neighbor view of the dead hub — canonical on every stdlib.
+  ForgivingGraph star(make_star(9));
+  star.remove(0);
+  EXPECT_EQ(dump_rts(star),
+            "digraph RT {\n"
+            "  rankdir=TB;\n"
+            "  n14 [label=\"(4,0)\", shape=ellipse];\n"
+            "  n14 -> n12;\n"
+            "  n14 -> n13;\n"
+            "  n12 [label=\"(2,0)\", shape=ellipse];\n"
+            "  n12 -> n8;\n"
+            "  n12 -> n9;\n"
+            "  n8 [label=\"(1,0)\", shape=ellipse];\n"
+            "  n8 -> n0;\n"
+            "  n8 -> n1;\n"
+            "  n0 [label=\"(1,0)\", shape=box];\n"
+            "  n1 [label=\"(2,0)\", shape=box];\n"
+            "  n9 [label=\"(3,0)\", shape=ellipse];\n"
+            "  n9 -> n2;\n"
+            "  n9 -> n3;\n"
+            "  n2 [label=\"(3,0)\", shape=box];\n"
+            "  n3 [label=\"(4,0)\", shape=box];\n"
+            "  n13 [label=\"(6,0)\", shape=ellipse];\n"
+            "  n13 -> n10;\n"
+            "  n13 -> n11;\n"
+            "  n10 [label=\"(5,0)\", shape=ellipse];\n"
+            "  n10 -> n4;\n"
+            "  n10 -> n5;\n"
+            "  n4 [label=\"(5,0)\", shape=box];\n"
+            "  n5 [label=\"(6,0)\", shape=box];\n"
+            "  n11 [label=\"(7,0)\", shape=ellipse];\n"
+            "  n11 -> n6;\n"
+            "  n11 -> n7;\n"
+            "  n6 [label=\"(7,0)\", shape=box];\n"
+            "  n7 [label=\"(8,0)\", shape=box];\n"
+            "}\n");
+}
+
+TEST(GoldenOutput, SimulateMetricsTableIsPinned) {
+  // The examples/simulate pipeline on a small fixed run: build, heal under
+  // an adversary, render the sampled metric table. Every cell is pinned —
+  // the healed topology (components, degrees, stretch) must replay
+  // byte-identically for a fixed seed on any platform.
+  Rng rng(1);
+  Graph g0 = make_erdos_renyi(48, 8.0 / 48, rng);
+  auto healer = make_healer("forgiving", g0);
+  auto adversary = make_adversary("random-delete");
+  RunConfig cfg;
+  cfg.max_steps = 30;
+  cfg.sample_every = 10;
+  cfg.stretch_sources = 8;
+  RunResult res = run_experiment(*healer, *adversary, cfg, rng);
+
+  Table t{"step", "alive", "n seen", "max deg ratio", "max stretch", "avg stretch",
+          "bound", "components"};
+  auto row = [&](const Sample& s) {
+    t.add(s.step, s.alive, s.total_inserted, fmt(s.degree.max_ratio),
+          fmt(s.stretch.max_stretch), fmt(s.stretch.avg_stretch),
+          std::max(1, haft::ceil_log2(std::max(2, s.total_inserted))), s.components);
+  };
+  for (const Sample& s : res.timeline) row(s);
+  row(res.final);
+  std::ostringstream out;
+  t.print(out);
+
+  EXPECT_EQ(
+      out.str(),
+      "step  alive  n seen  max deg ratio  max stretch  avg stretch  bound  components\n"
+      "-------------------------------------------------------------------------------\n"
+      "10    38     48      1.60           1.50         0.92         6      1\n"
+      "20    28     48      1.83           1.50         0.88         6      1\n"
+      "30    18     48      2.00           1.50         0.77         6      1\n"
+      "30    18     48      2.00           1.50         0.78         6      1\n");
+  EXPECT_EQ(fmt(res.worst_degree_ratio), "2.00");
+  EXPECT_EQ(fmt(res.worst_stretch), "1.50");
+  EXPECT_EQ(res.broken_pairs_total, 0);
+  EXPECT_EQ(res.deletions, 30);
+  EXPECT_EQ(res.insertions, 0);
+}
+
+}  // namespace
+}  // namespace fg

@@ -1,0 +1,205 @@
+// Property test for the pooled flat-adjacency Graph: random interleaved
+// add_edge / remove_edge / batched-delta / add_node / remove_node
+// (tombstone) sequences are checked against a naive set-of-pairs model
+// after every step. The pinned properties are exactly what the sorted
+// NeighborView API promises:
+//   * every view is sorted ascending, duplicate-free, and alive-only;
+//   * view contents, degree, has_edge, edge_count and alive_count match
+//     the model;
+//   * apply_edge_deltas is equivalent to the per-edge calls it batches;
+//   * spill blocks recycle through the pool (a long churn run must not
+//     corrupt earlier lists).
+#include <algorithm>
+#include <set>
+#include <utility>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "graph/graph.h"
+#include "util/rng.h"
+
+namespace fg {
+namespace {
+
+struct Model {
+  std::set<std::pair<NodeId, NodeId>> edges;  // normalized u < v
+  std::vector<char> alive;
+
+  static std::pair<NodeId, NodeId> norm(NodeId u, NodeId v) {
+    return {std::min(u, v), std::max(u, v)};
+  }
+  NodeId add_node() {
+    alive.push_back(1);
+    return static_cast<NodeId>(alive.size() - 1);
+  }
+  void remove_node(NodeId v) {
+    alive[static_cast<size_t>(v)] = 0;
+    for (auto it = edges.begin(); it != edges.end();)
+      it = (it->first == v || it->second == v) ? edges.erase(it) : std::next(it);
+  }
+  bool add_edge(NodeId u, NodeId v) { return edges.insert(norm(u, v)).second; }
+  bool remove_edge(NodeId u, NodeId v) { return edges.erase(norm(u, v)) > 0; }
+  std::vector<NodeId> neighbors(NodeId v) const {
+    std::vector<NodeId> out;
+    for (const auto& [a, b] : edges) {
+      if (a == v) out.push_back(b);
+      if (b == v) out.push_back(a);
+    }
+    std::sort(out.begin(), out.end());
+    return out;
+  }
+};
+
+void check_equivalent(const Graph& g, const Model& m) {
+  ASSERT_EQ(g.node_capacity(), static_cast<int>(m.alive.size()));
+  ASSERT_EQ(g.edge_count(), static_cast<int64_t>(m.edges.size()));
+  int alive = 0;
+  for (NodeId v = 0; v < g.node_capacity(); ++v) {
+    ASSERT_EQ(g.is_alive(v), m.alive[static_cast<size_t>(v)] != 0);
+    alive += g.is_alive(v);
+    NeighborView view = g.neighbors(v);
+    // Sorted strictly ascending => duplicate-free.
+    ASSERT_TRUE(std::is_sorted(view.begin(), view.end()));
+    for (size_t i = 1; i < view.size(); ++i) ASSERT_LT(view[i - 1], view[i]);
+    // Alive-only: a tombstoned node keeps no edges and appears in none.
+    for (NodeId w : view) ASSERT_TRUE(g.is_alive(w));
+    if (!g.is_alive(v)) {
+      ASSERT_TRUE(view.empty());
+    }
+    ASSERT_EQ(static_cast<int>(view.size()), g.degree(v));
+    std::vector<NodeId> expect = m.neighbors(v);
+    ASSERT_EQ(std::vector<NodeId>(view.begin(), view.end()), expect);
+    for (NodeId w : expect) {
+      ASSERT_TRUE(g.has_edge(v, w));
+      ASSERT_TRUE(view.contains(w));
+    }
+    if (!expect.empty()) {
+      ASSERT_EQ(view.front(), expect.front());
+      ASSERT_EQ(view.back(), expect.back());
+    }
+    // Spot-check absent neighbors on both lookup paths.
+    for (NodeId w = 0; w < g.node_capacity(); w += 7)
+      if (w != v && !std::binary_search(expect.begin(), expect.end(), w)) {
+        ASSERT_FALSE(g.has_edge(v, w));
+        ASSERT_FALSE(view.contains(w));
+      }
+  }
+  ASSERT_EQ(g.alive_count(), alive);
+}
+
+TEST(GraphViewProperty, RandomChurnMatchesSetOfPairsModel) {
+  Rng rng(20260730);
+  for (int trial = 0; trial < 8; ++trial) {
+    const int n0 = 3 + static_cast<int>(rng.next_below(12));
+    Graph g(n0);
+    Model m;
+    m.alive.assign(static_cast<size_t>(n0), 1);
+
+    for (int step = 0; step < 300; ++step) {
+      std::vector<NodeId> alive;
+      for (NodeId v = 0; v < g.node_capacity(); ++v)
+        if (g.is_alive(v)) alive.push_back(v);
+      const uint64_t roll = rng.next_below(100);
+      if (roll < 8) {
+        ASSERT_EQ(g.add_node(), m.add_node());
+      } else if (roll < 14 && alive.size() > 2) {
+        NodeId v = rng.pick(alive);
+        g.remove_node(v);
+        m.remove_node(v);
+      } else if (roll < 60 && alive.size() >= 2) {
+        NodeId u = rng.pick(alive);
+        NodeId v = rng.pick(alive);
+        if (u != v) {
+          ASSERT_EQ(g.add_edge(u, v), m.add_edge(u, v));
+        }
+      } else if (alive.size() >= 2) {
+        NodeId u = rng.pick(alive);
+        NodeId v = rng.pick(alive);
+        if (u != v) {
+          ASSERT_EQ(g.remove_edge(u, v), m.remove_edge(u, v));
+        }
+      }
+      if (step % 23 == 0) check_equivalent(g, m);
+    }
+    check_equivalent(g, m);
+  }
+}
+
+TEST(GraphViewProperty, BatchedDeltasMatchPerEdgeCalls) {
+  Rng rng(77);
+  for (int trial = 0; trial < 12; ++trial) {
+    const int n = 20;
+    Graph batched(n);
+    Graph sequential(n);
+    Model m;
+    m.alive.assign(n, 1);
+
+    for (int round = 0; round < 20; ++round) {
+      // A batch of distinct edges: a mix of adds (some already present)
+      // and removes (some absent).
+      std::vector<EdgeDelta> deltas;
+      std::set<std::pair<NodeId, NodeId>> used;
+      const int k = 1 + static_cast<int>(rng.next_below(10));
+      for (int i = 0; i < k; ++i) {
+        NodeId u = static_cast<NodeId>(rng.next_below(n));
+        NodeId v = static_cast<NodeId>(rng.next_below(n));
+        if (u == v || !used.insert(Model::norm(u, v)).second) continue;
+        auto op = rng.next_bool(0.6) ? EdgeDelta::Op::kAdd : EdgeDelta::Op::kRemove;
+        deltas.push_back({u, v, op});
+      }
+      int expect_applied = 0;
+      for (const EdgeDelta& d : deltas) {
+        bool changed = d.op == EdgeDelta::Op::kAdd ? sequential.add_edge(d.u, d.v)
+                                                   : sequential.remove_edge(d.u, d.v);
+        ASSERT_EQ(changed, d.op == EdgeDelta::Op::kAdd ? m.add_edge(d.u, d.v)
+                                                       : m.remove_edge(d.u, d.v));
+        expect_applied += changed;
+      }
+      ASSERT_EQ(batched.apply_edge_deltas(deltas), expect_applied);
+      ASSERT_TRUE(batched.same_topology(sequential));
+      check_equivalent(batched, m);
+    }
+  }
+}
+
+TEST(GraphViewProperty, HubChurnRecyclesSpillBlocks) {
+  // Grow a hub past every size class, tombstone it, regrow a second hub:
+  // the second hub's list must reuse pooled blocks without disturbing the
+  // spokes' (inline) lists.
+  const int n = 600;
+  Graph g(n);
+  Model m;
+  m.alive.assign(n, 1);
+  for (NodeId v = 2; v < n; ++v) {
+    ASSERT_TRUE(g.add_edge(0, v));
+    m.add_edge(0, v);
+  }
+  check_equivalent(g, m);
+  g.remove_node(0);
+  m.remove_node(0);
+  for (NodeId v = 2; v < n; ++v) {
+    ASSERT_TRUE(g.add_edge(1, v));
+    m.add_edge(1, v);
+  }
+  check_equivalent(g, m);
+}
+
+TEST(GraphViewProperty, ViewsAreSortedAfterUnsortedInsertionOrder) {
+  // Insert neighbors in descending and shuffled order; the view must come
+  // back ascending regardless.
+  Rng rng(5);
+  Graph g(64);
+  std::vector<NodeId> order;
+  for (NodeId v = 1; v < 64; ++v) order.push_back(v);
+  rng.shuffle(order);
+  for (NodeId v : order) g.add_edge(0, v);
+  NeighborView view = g.neighbors(0);
+  ASSERT_EQ(view.size(), 63u);
+  ASSERT_TRUE(std::is_sorted(view.begin(), view.end()));
+  ASSERT_EQ(view.front(), 1);
+  ASSERT_EQ(view.back(), 63);
+}
+
+}  // namespace
+}  // namespace fg
