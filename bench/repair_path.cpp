@@ -28,9 +28,11 @@
 
 #include "adversary/adversary.h"
 #include "bench_common.h"
+#include "cert/certificate.h"
 #include "fg/dist/dist_forgiving_graph.h"
 #include "fg/forgiving_graph.h"
 #include "graph/generators.h"
+#include "harness/certificate.h"
 #include "heal/healer.h"
 #include "util/check.h"
 #include "util/rng.h"
@@ -361,6 +363,46 @@ void sharded_wave(Table& t, Table& cost) {
   }
 }
 
+// Scenario G (R5): certificate emission overhead. The same 64-deletion
+// schedule on ER(1024) with and without a CertificateWriter attached —
+// emission re-derives each wave's image edges and runs the stretch-witness
+// BFS passes, so the ratio row is what docs/CERTIFICATES.md quotes as the
+// price of --certify (with no sink attached the engines skip all of it).
+void certify_overhead(Table& t) {
+  constexpr int kN = 1024;
+  constexpr int kWave = 64;
+  Rng rng(21);
+  Graph g0 = make_erdos_renyi(kN, 8.0 / kN, rng);
+  auto order = g0.alive_nodes();
+  rng.shuffle(order);
+  order.resize(kWave);
+
+  auto run = [&](bool certify) {
+    ForgivingGraph fg(g0);
+    std::ostringstream certs;
+    harness::CertificateWriter writer(certs);
+    if (certify) fg.set_certificate_sink(&writer);
+    auto t0 = std::chrono::steady_clock::now();
+    for (NodeId v : order) fg.remove(v);
+    double ms = ms_since(t0);
+    if (certify) {  // untimed: the stream must actually validate
+      std::istringstream is(certs.str());
+      cert::StreamResult res = cert::check_stream(is);
+      FG_CHECK_MSG(res.ok, res.diagnostic.c_str());
+      FG_CHECK(res.waves_checked == kWave);
+    }
+    return ms;
+  };
+
+  run(false);  // untimed warm-up
+  double off_ms = run(false);
+  double on_ms = run(true);
+  record(t, "certify_off_1024", kN, kWave, off_ms);
+  record(t, "certify_on_1024", kN, kWave, on_ms);
+  if (off_ms > 0.0)
+    g_rows.push_back({"certify_overhead_1024", kN, kWave, on_ms / off_ms, 0.0});
+}
+
 void write_json(const std::string& path) {
   std::ofstream os(path);
   os << "{\n  \"bench\": \"repair_path\",\n  \"rows\": [\n";
@@ -389,6 +431,7 @@ int main() {
   adjacency_micro(t);
   star_hub_merge(t);
   sharded_wave(t, cost);
+  certify_overhead(t);
   t.print(std::cout);
   std::cout << "\nprotocol cost (wave DAGs; regions repair in parallel rounds):\n";
   cost.print(std::cout);

@@ -1,7 +1,7 @@
 // Parameterizable simulation driver — run any (graph x adversary x healer)
 // combination from the command line and get the paper's success metrics.
 //
-//   $ ./examples/simulate [graph] [n] [healer] [adversary] [steps] [seed]
+//   $ ./examples/simulate [--certify[=FILE]] [graph] [n] [healer] [adversary] [steps] [seed]
 //
 // Defaults: er 512 forgiving random-delete 300 1.
 // Graphs:     star path cycle grid er ba tree
@@ -9,13 +9,21 @@
 // Adversaries: random-delete maxdeg-delete helper-load star-attack
 //              churn:<p_delete> build-and-burn:<fanout>
 //
+// --certify emits one repair certificate per committed deletion wave
+// (docs/CERTIFICATES.md) — to FILE if given, else to stdout after the run —
+// ready to pipe through the standalone verifier: ./fgcheck FILE. Only the
+// forgiving healer has waves to certify.
+//
 // Set FG_CSV=1 to get CSV alongside the table.
 #include <cstdlib>
+#include <fstream>
 #include <iostream>
+#include <sstream>
 #include <string>
 
 #include "adversary/adversary.h"
 #include "graph/generators.h"
+#include "harness/certificate.h"
 #include "harness/experiment.h"
 #include "haft/haft.h"
 #include "heal/forgiving_tree.h"
@@ -45,17 +53,40 @@ fg::Graph build(const std::string& kind, int n, fg::Rng& rng) {
 
 int main(int argc, char** argv) {
   using namespace fg;
-  std::string graph = argc > 1 ? argv[1] : "er";
-  int n = argc > 2 ? std::atoi(argv[2]) : 512;
-  std::string healer_name = argc > 3 ? argv[3] : "forgiving";
-  std::string adversary_name = argc > 4 ? argv[4] : "random-delete";
-  int steps = argc > 5 ? std::atoi(argv[5]) : 300;
-  uint64_t seed = argc > 6 ? std::strtoull(argv[6], nullptr, 10) : 1;
+  bool certify = false;
+  std::string certify_file;
+  int arg0 = 1;
+  if (argc > 1 && std::string(argv[1]).rfind("--certify", 0) == 0) {
+    std::string flag = argv[1];
+    certify = true;
+    if (flag.size() > 10 && flag[9] == '=') certify_file = flag.substr(10);
+    arg0 = 2;
+  }
+  auto arg = [&](int i, const char* dflt) {
+    return argc > arg0 + i ? std::string(argv[arg0 + i]) : std::string(dflt);
+  };
+  std::string graph = arg(0, "er");
+  int n = std::atoi(arg(1, "512").c_str());
+  std::string healer_name = arg(2, "forgiving");
+  std::string adversary_name = arg(3, "random-delete");
+  int steps = std::atoi(arg(4, "300").c_str());
+  uint64_t seed = std::strtoull(arg(5, "1").c_str(), nullptr, 10);
 
   Rng rng(seed);
   Graph g0 = build(graph, n, rng);
   auto healer = make_healer(healer_name, g0);
   auto adversary = make_adversary(adversary_name);
+
+  std::ostringstream cert_buf;
+  harness::CertificateWriter cert_writer(cert_buf);
+  if (certify) {
+    auto* fgh = dynamic_cast<ForgivingGraphHealer*>(healer.get());
+    if (fgh == nullptr) {
+      std::cerr << "--certify requires the forgiving healer\n";
+      return 2;
+    }
+    fgh->engine().set_certificate_sink(&cert_writer);
+  }
 
   std::cout << "simulate: graph=" << graph << " n=" << n << " healer=" << healer->name()
             << " adversary=" << adversary->name() << " steps=" << steps
@@ -82,5 +113,21 @@ int main(int argc, char** argv) {
             << ", stretch " << fmt(res.worst_stretch) << ", broken pairs "
             << res.broken_pairs_total << " (" << res.deletions << " deletions, "
             << res.insertions << " insertions)\n";
+
+  if (certify) {
+    const std::string certs = cert_buf.str();
+    if (certify_file.empty()) {
+      std::cout << "\n" << certs;
+    } else {
+      std::ofstream out(certify_file);
+      if (!out) {
+        std::cerr << "--certify: cannot write " << certify_file << "\n";
+        return 2;
+      }
+      out << certs;
+      std::cout << "\ncertificates: " << certify_file
+                << " (verify with: fgcheck " << certify_file << ")\n";
+    }
+  }
   return 0;
 }

@@ -17,6 +17,13 @@
    docs/API.md and as code tokens in src/graph/graph.h, FlatCountMap must
    exist and be named by docs/DESIGN.md, and unordered_set must never
    reappear in the Graph header.
+5. The certificate subsystem keeps its independence guarantee
+   (docs/CERTIFICATES.md): src/cert sources never include engine headers
+   (fg/, harness/, heal/, net/, adversary/), the fgcheck link line in
+   CMakeLists.txt names fg_cert only (never fg_core), the cert API names
+   documented in docs/CERTIFICATES.md exist as code tokens in their
+   headers, and the "fgcert 1" format version string matches between the
+   doc and src/cert/certificate.h.
 
 Exits non-zero with a per-problem report on any violation.
 """
@@ -206,9 +213,84 @@ def check_graph_api_sync():
     return problems
 
 
+# The certificate independence gate. The whole value of tools/fgcheck is
+# that it cannot share a defect with the engines it audits; that property
+# lives in two places the compiler does not enforce: the src/cert include
+# list and the fgcheck link line. Both are pinned here, along with the
+# doc/code sync for the cert API surface and the format version string.
+CERT_VERSION = "fgcert 1"
+CERT_FORBIDDEN_INCLUDE_RE = re.compile(
+    r'#include\s+"(?:fg|harness|heal|net|adversary)/')
+CERT_API_NAMES = {
+    "src/cert/certificate.h": (
+        "WaveCertificate", "RegionCert", "RtNode", "DegreeClaim",
+        "StretchWitness", "EdgeFact", "CostClaim", "CheckResult",
+        "StreamResult", "check_stream", "structural_text", "kDegreeConstant",
+    ),
+    "src/harness/certificate.h": (
+        "CertificateSink", "CertificateWriter", "CertificateCollector",
+    ),
+}
+
+
+def check_certificate_independence():
+    doc = REPO / "docs" / "CERTIFICATES.md"
+    if not doc.exists():
+        return ["docs/CERTIFICATES.md: missing (the certificate doc is required)"]
+    problems = []
+    doc_text = doc.read_text()
+
+    for src in sorted((REPO / "src" / "cert").glob("*.*")):
+        for lineno, line in enumerate(src.read_text().splitlines(), 1):
+            if CERT_FORBIDDEN_INCLUDE_RE.search(line):
+                problems.append(
+                    f"{src.relative_to(REPO)}:{lineno}: engine include in the "
+                    "certificate checker — src/cert must stay independent of "
+                    "the code it audits (docs/CERTIFICATES.md)")
+
+    cmake = (REPO / "CMakeLists.txt").read_text()
+    link = re.search(r"target_link_libraries\(fgcheck\b([^)]*)\)", cmake)
+    if link is None:
+        problems.append("CMakeLists.txt: no fgcheck link line found")
+    elif re.search(r"\bfg_core\b", link.group(1)) or "fg_cert" not in link.group(1):
+        problems.append(
+            "CMakeLists.txt: fgcheck must link fg_cert and never fg_core — "
+            "an fgcheck with engine code linked in defeats the audit "
+            "(docs/CERTIFICATES.md)")
+
+    for rel, names in CERT_API_NAMES.items():
+        path = REPO / rel
+        if not path.exists():
+            problems.append(f"{rel}: missing, but docs/CERTIFICATES.md documents it")
+            continue
+        code = header_code(path)
+        for name in names:
+            if not re.search(r"\b" + re.escape(name) + r"\b", code):
+                problems.append(
+                    f"{rel}: documented certificate API name `{name}` does "
+                    "not appear in its code — update docs/CERTIFICATES.md or "
+                    "the header")
+            if name not in doc_text:
+                problems.append(
+                    f"docs/CERTIFICATES.md: certificate API name `{name}` is "
+                    "undocumented — the doc must cover the full surface")
+
+    cert_header = (REPO / "src" / "cert" / "certificate.h").read_text()
+    if f'"{CERT_VERSION}"' not in cert_header:
+        problems.append(
+            f"src/cert/certificate.h: format version string \"{CERT_VERSION}\" "
+            "not found — bumping the version means updating this gate and "
+            "docs/CERTIFICATES.md together")
+    if f"`{CERT_VERSION}`" not in doc_text:
+        problems.append(
+            f"docs/CERTIFICATES.md: must name the current format version "
+            f"(`{CERT_VERSION}`) — the grammar section is versioned")
+    return problems
+
+
 def main():
     problems = (check_links() + check_snippet_sync() + check_concurrency_sync() +
-                check_graph_api_sync())
+                check_graph_api_sync() + check_certificate_independence())
     for p in problems:
         print(p, file=sys.stderr)
     if problems:
@@ -216,7 +298,8 @@ def main():
     print(f"docs OK: {sum(1 for _ in markdown_files())} markdown files, "
           "links resolve, example snippets in sync, CONCURRENCY.md API names "
           "and C4 wording match the headers, Graph view API in sync (no "
-          "unordered_set in the surface)")
+          "unordered_set in the surface), certificate checker independent "
+          "(includes + fgcheck link line) and its API/version in sync")
 
 
 if __name__ == "__main__":

@@ -1,0 +1,202 @@
+// Per-wave repair certificates: format model, parser, and the independent
+// checker (docs/CERTIFICATES.md has the full grammar and the proof each
+// section carries).
+//
+// Every committed deletion wave can emit a WaveCertificate: a line-oriented,
+// versioned text artifact ("fgcert 1") stating what the repair claims to
+// have done — the victim wave and its region partition, the Reconstruction
+// Tree built per region (normalized parent/child pointers, a witness the
+// checker re-validates as a haft of Lemma-1 depth), the healed-image edges
+// each RT contributes, per-node degree before/after against the paper's
+// accounting constant, sampled stretch pairs with explicit witness paths,
+// and (from the distributed engine) the message/round counts of the repair
+// against the Lemma-4 budget.
+//
+// The point of this module is ACCOUNTABILITY: check() validates every claim
+// from first principles, using only the certificate's own data — it never
+// touches engine state, and this translation unit must never include an
+// `fg/`, `harness/`, `heal/`, or `net/` header (scripts/check_docs.py pins
+// that), so the standalone tools/fgcheck binary that links it cannot share
+// a bug with the engines it audits. A certificate that passes proves, wave
+// by wave:
+//
+//   * partition     — the victims are distinct and the region assignment is
+//                     a well-formed partition of the wave;
+//   * rt-structure  — each region's witness is a single rooted binary tree
+//                     with symmetric links (helpers: two children, leaves:
+//                     none) and no unreachable or duplicated nodes;
+//   * haft          — every internal node's left subtree is perfect and at
+//                     least as leafy as its right (Section 4, H1-H2),
+//                     recomputed bottom-up, never trusted;
+//   * depth         — RT height <= ceil(log2(leaves)) (Lemma 1.3);
+//   * anchors       — every lost G' edge slot (owner, dead victim) the wave
+//                     claims to re-anchor appears as a leaf of its region's
+//                     RT, and anchor owners are accounted in the degree
+//                     section;
+//   * image-edges   — the healed-network edges a region claims equal the
+//                     homomorphic image of its RT witness (tree edges with
+//                     distinct owners), re-derived by the checker;
+//   * rt-connectivity — the owners of each RT form a connected subgraph of
+//                     the healed network under exactly those image edges
+//                     (checked through fg::Graph + is_connected — the one
+//                     src/graph dependency);
+//   * degree        — for every touched surviving node, deg_G(after) stays
+//                     within kDegreeConstant * deg_G' (Theorem 1.1's
+//                     per-slot accounting bound) and within
+//                     deg_G(before) + the wave's new incident image edges;
+//   * stretch       — each sampled pair's witness path is continuous, every
+//                     hop is justified by an edge fact (G' edge, this
+//                     wave's RT image, or a prior wave's RT image), and its
+//                     length is within stretch-bound * dist_G' (Theorem
+//                     1.2 with the ceil(log2 n) bound the tests pin);
+//   * cost          — when present, messages/rounds fit the Lemma-4 budget
+//                     (kMessageBudgetFactor * d * log n messages,
+//                     kRoundBudgetFactor * log d + log n rounds — the
+//                     envelope tests/dist_property_test.cpp enforces).
+//
+// Certificates are a pure function of (engine state, wave): byte-identical
+// at every shard/commit worker count and across the centralized and
+// dist-kGlobalPlan engines (contract C4 extended from checkpoints to
+// certificates; the optional `cost` line is engine-specific and excluded
+// from the structural bytes via save(os, /*include_cost=*/false)).
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "graph/graph.h"
+
+namespace fg::cert {
+
+/// The format magic + version line every certificate starts with. Bump the
+/// version when the grammar changes; the checker rejects anything else.
+inline constexpr const char* kFormatVersionLine = "fgcert 1";
+
+/// Theorem 1.1 accounting constant: deg_G(v) <= 4 * deg_G'(v) (the per-slot
+/// bound of docs/EXPERIMENTS.md T1/A2; the observed constant is 3).
+inline constexpr int kDegreeConstant = 4;
+
+/// Lemma-4 budget factors (the envelope tests/dist_property_test.cpp pins):
+/// messages <= kMessageBudgetFactor * max(1, d) * max(1, ceil_log2(n)),
+/// rounds   <= kRoundBudgetFactor * ceil_log2(max(2, d)) + ceil_log2(n).
+inline constexpr int kMessageBudgetFactor = 60;
+inline constexpr int kRoundBudgetFactor = 10;
+
+/// ceil(log2(l)) for l >= 1 (local twin of haft::ceil_log2 — this library
+/// must not link engine code).
+int ceil_log2(int64_t l);
+
+/// One virtual node of an RT witness, in the certificate's normalized
+/// numbering: nodes are listed in preorder and referenced by their position
+/// (0-based), so the witness is independent of engine arena handles.
+struct RtNode {
+  NodeId owner = kInvalidNode;
+  NodeId other = kInvalidNode;
+  bool is_leaf = true;
+  int parent = -1;
+  int left = -1;
+  int right = -1;
+};
+
+/// One region's repair claims: its victims, the lost edge slots it
+/// re-anchored, the RT it built, and that RT's healed-image edges.
+struct RegionCert {
+  int id = 0;
+  std::vector<NodeId> victims;                      ///< Wave order.
+  std::vector<std::pair<NodeId, NodeId>> anchors;   ///< (owner, dead victim).
+  std::vector<RtNode> nodes;                        ///< Preorder; empty: no RT.
+  /// Image edges of the RT as normalized (min, max) owner pairs, sorted
+  /// ascending, duplicate-free.
+  std::vector<std::pair<NodeId, NodeId>> image_edges;
+};
+
+/// Degree claim for one surviving touched node.
+struct DegreeClaim {
+  NodeId node = kInvalidNode;
+  int gprime = 0;    ///< deg_G'(node) — untouched by deletions.
+  int g_before = 0;  ///< deg_G before the wave committed.
+  int g_after = 0;   ///< deg_G after.
+};
+
+/// One sampled stretch pair with its explicit witness path in G.
+struct StretchWitness {
+  NodeId x = kInvalidNode;
+  NodeId y = kInvalidNode;
+  int dist_gprime = 0;          ///< BFS distance in G'.
+  std::vector<NodeId> path;     ///< x ... y in G; length = path.size() - 1.
+};
+
+/// Provenance of one healed-image edge referenced by a witness path.
+struct EdgeFact {
+  enum class Kind {
+    kGPrime,   ///< An edge of G' between two alive processors.
+    kRtWave,   ///< Image edge of this wave's region `region`.
+    kRtPrior,  ///< Image edge of an RT built by an earlier wave.
+  };
+  NodeId u = kInvalidNode;  ///< Normalized: u < v.
+  NodeId v = kInvalidNode;
+  Kind kind = Kind::kGPrime;
+  int region = -1;  ///< Only for kRtWave.
+};
+
+/// The distributed engine's Lemma-4 cost claim (absent on centralized
+/// certificates — the engine-specific part of the format).
+struct CostClaim {
+  bool present = false;
+  int64_t messages = 0;
+  int64_t words = 0;
+  int rounds = 0;
+  int deleted_degree = 0;  ///< Total G' degree of the wave's victims.
+};
+
+/// A complete per-wave certificate.
+struct WaveCertificate {
+  long wave = 0;          ///< 0-based index of the deletion wave.
+  int net_nodes = 0;      ///< Processor ids ever seen (|V(G')|).
+  int alive_after = 0;    ///< Alive processors after the wave.
+  int degree_constant = kDegreeConstant;
+  int stretch_bound = 1;  ///< max(1, ceil_log2(net_nodes)).
+  std::vector<NodeId> victims;  ///< The wave, in schedule order.
+  std::vector<int> assign;      ///< Region id per victim, aligned.
+  std::vector<RegionCert> regions;
+  std::vector<DegreeClaim> degrees;        ///< Sorted by node id.
+  std::vector<StretchWitness> stretch;
+  std::vector<EdgeFact> facts;             ///< Sorted by (u, v).
+  CostClaim cost;
+
+  /// Serialize in the canonical text format. With include_cost false the
+  /// engine-specific `cost` line is dropped — the structural bytes the
+  /// cross-engine equivalence contract compares.
+  void save(std::ostream& os, bool include_cost = true) const;
+
+  /// The structural bytes (save without the cost line).
+  std::string structural_text() const;
+};
+
+/// Outcome of parsing or checking; `ok == false` comes with a localized
+/// diagnostic: "wave <w>[ region <r>]: <rule>: <detail>".
+struct CheckResult {
+  bool ok = true;
+  std::string diagnostic;
+};
+
+/// Parse one certificate from `is` (which may hold a stream of several).
+/// Returns ok=false with a diagnostic on malformed input; sets `*eof` when
+/// the stream held no further certificate.
+CheckResult parse(std::istream& is, WaveCertificate* out, bool* eof);
+
+/// Validate every claim of one certificate from first principles.
+CheckResult check(const WaveCertificate& c);
+
+/// Parse + check a whole stream of certificates; stops at the first
+/// violation. `waves_checked` counts the certificates that passed.
+struct StreamResult {
+  bool ok = true;
+  int waves_checked = 0;
+  std::string diagnostic;
+};
+StreamResult check_stream(std::istream& is);
+
+}  // namespace fg::cert

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <any>
 
+#include "harness/certificate.h"
 #include "util/check.h"
 
 namespace fg::dist {
@@ -136,6 +137,8 @@ void DistForgivingGraph::delete_batch(std::span<const NodeId> victims) {
   // recorder turns each structural change into the teardown/detach
   // messages of the repair DAG, bucketed per region.
   core::RepairPlan plan = core_.plan_deletion(victims, split_);
+  harness::CertificateBuilder cert_builder;
+  if (cert_sink_ != nullptr) cert_builder.begin_wave(core_, plan);
   DagRecorder recorder(this);
   // On-demand allocation: the distributed merge modes apply joins as the
   // DAG replays, interleaving regions (and, in kStageWise, choosing a
@@ -192,6 +195,23 @@ void DistForgivingGraph::delete_batch(std::span<const NodeId> victims) {
   lifetime_.words += s.words;
   lifetime_.rounds += s.rounds;
   deleting_.clear();
+
+  if (cert_sink_ != nullptr) {
+    // Each region's final RT root: whatever its first committed piece now
+    // roots at (the merges only ever join pieces within a region).
+    std::vector<VNodeId> roots(plan.regions.size(), kNoVNode);
+    for (size_t r = 0; r < plan.regions.size(); ++r)
+      if (!region_pieces[r].empty())
+        roots[r] = core_.forest().root_of(region_pieces[r][0]);
+    cert::CostClaim claim;
+    claim.present = true;
+    claim.messages = last_cost_.messages;
+    claim.words = last_cost_.words;
+    claim.rounds = last_cost_.rounds;
+    claim.deleted_degree = last_cost_.deleted_degree;
+    cert_sink_->on_certificate(cert_builder.end_wave(
+        core_, plan, certified_waves_++, roots, &claim));
+  }
 }
 
 // ---------------------------------------------------------------------------

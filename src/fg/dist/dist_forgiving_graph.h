@@ -68,6 +68,10 @@
 #include "haft/haft.h"
 #include "net/network.h"
 
+namespace fg::harness {
+class CertificateSink;
+}
+
 namespace fg::dist {
 
 /// How the pieces of broken RTs are reassembled after a deletion.
@@ -149,6 +153,14 @@ class DistForgivingGraph {
   const VirtualForest& forest() const { return core_.forest(); }
   MergeMode mode() const { return mode_; }
 
+  /// Install a certificate sink: every subsequent delete_batch emits a
+  /// per-wave cert::WaveCertificate carrying this engine's Lemma-4 cost
+  /// claim (harness/certificate.h; docs/CERTIFICATES.md). nullptr disables.
+  /// In kGlobalPlan mode the structural bytes match the centralized
+  /// engine's certificates exactly (contract C4 extension).
+  void set_certificate_sink(harness::CertificateSink* sink) { cert_sink_ = sink; }
+  harness::CertificateSink* certificate_sink() const { return cert_sink_; }
+
   /// Full invariant check I1-I5 through the shared core (expensive).
   void validate() const { core_.validate(); }
 
@@ -216,6 +228,8 @@ class DistForgivingGraph {
   net::Network net_;
   RepairCost last_cost_;
   LifetimeStats lifetime_;
+  harness::CertificateSink* cert_sink_ = nullptr;
+  long certified_waves_ = 0;  ///< Wave index of the next certificate.
 
   // Per-repair DAG state.
   std::vector<DagMsg> msgs_;

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "harness/certificate.h"
 #include "util/check.h"
 
 namespace fg {
@@ -14,8 +15,13 @@ void ForgivingGraph::commit_delete_batch(const core::RepairPlan& plan) {
   // may fan disjoint regions out over its commit pool and still land on
   // the byte-identical checkpoint at any worker count (contract C4,
   // docs/CONCURRENCY.md).
+  harness::CertificateBuilder builder;
+  if (cert_sink_ != nullptr) builder.begin_wave(core_, plan);
   std::vector<std::vector<VNodeId>> pieces = core_.commit_break(plan);
-  shards_.commit(core_, plan, std::move(pieces));
+  std::vector<VNodeId> roots = shards_.commit(core_, plan, std::move(pieces));
+  if (cert_sink_ != nullptr)
+    cert_sink_->on_certificate(builder.end_wave(core_, plan, certified_waves_++,
+                                                roots, /*cost=*/nullptr));
 }
 
 ForgivingGraph ForgivingGraph::load(std::istream& is) {

@@ -32,6 +32,10 @@
 #include "fg/virtual_forest.h"
 #include "graph/graph.h"
 
+namespace fg::harness {
+class CertificateSink;
+}
+
 namespace fg {
 
 /// Structural statistics of the most recent deletion repair (shared with
@@ -96,6 +100,14 @@ class ForgivingGraph {
   /// Shard bookkeeping: region ids of the last wave, region of a root.
   const ShardedForest& shards() const { return shards_; }
 
+  /// Install a certificate sink: every subsequent committed deletion wave
+  /// emits a per-wave cert::WaveCertificate through it (harness/
+  /// certificate.h; docs/CERTIFICATES.md). nullptr disables emission. The
+  /// certificate bytes are a pure function of (structure, wave) — identical
+  /// at every shard/commit worker count (contract C4).
+  void set_certificate_sink(harness::CertificateSink* sink) { cert_sink_ = sink; }
+  harness::CertificateSink* certificate_sink() const { return cert_sink_; }
+
   /// Victim -> region ids of the most recent delete_batch, aligned with
   /// the victim order passed in (recorded by trace `r` lines).
   const std::vector<int>& last_region_assignment() const {
@@ -147,6 +159,8 @@ class ForgivingGraph {
   core::StructuralCore core_;
   ShardedForest shards_;
   core::RegionSplit split_ = core::RegionSplit::kPerRegion;
+  harness::CertificateSink* cert_sink_ = nullptr;
+  long certified_waves_ = 0;  ///< Wave index of the next certificate.
 };
 
 }  // namespace fg

@@ -213,6 +213,7 @@ void ShardedForest::note_commit(const core::RepairPlan& plan,
     if (region_roots[i] != kNoVNode)
       region_of_root_[region_roots[i]] = plan.regions[i].id;
   last_assignment_ = plan.victim_region;
+  last_region_roots_.assign(region_roots.begin(), region_roots.end());
 }
 
 int ShardedForest::region_of_root(VNodeId root) const {

@@ -145,6 +145,15 @@ class ShardedForest {
   /// with that wave's victim order (the payload of trace `r` lines).
   const std::vector<int>& last_assignment() const { return last_assignment_; }
 
+  /// Final RT root per region of the most recently committed wave, aligned
+  /// with that wave's plan.regions (kNoVNode for a region that produced no
+  /// RT). What the certificate layer normalizes into per-region witnesses
+  /// (harness/certificate.h) — identical at every worker count, like the
+  /// rest of the commit (contract C4).
+  const std::vector<VNodeId>& last_region_roots() const {
+    return last_region_roots_;
+  }
+
  private:
   int workers_ = 1;
   int commit_workers_ = 1;
@@ -153,6 +162,7 @@ class ShardedForest {
   std::vector<core::StructuralCore::MergeEffects> effects_scratch_;
   std::unordered_map<VNodeId, int> region_of_root_;
   std::vector<int> last_assignment_;
+  std::vector<VNodeId> last_region_roots_;
 };
 
 }  // namespace fg

@@ -1,0 +1,245 @@
+// Negative paths of the certificate checker, plus the pinned golden corpus.
+//
+// The corpus under tests/data/certs/ is committed byte-for-byte (like
+// golden_output_test.cpp): the engines must regenerate it exactly for a
+// fixed deterministic schedule, and the checker must accept it. Each
+// corruption case then forges one section of a valid certificate and
+// asserts the checker rejects it with the expected rule in a localized
+// diagnostic — the guarantees tools/fgcheck gives about engine output mean
+// nothing unless every forgery is actually caught.
+//
+// Regenerate the fixtures after a deliberate repair-algorithm change with
+// FG_UPDATE_GOLDENS=1 (and say so in the commit); an unexplained diff here
+// is a determinism regression.
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "cert/certificate.h"
+#include "fg/dist/dist_forgiving_graph.h"
+#include "fg/forgiving_graph.h"
+#include "graph/generators.h"
+#include "harness/certificate.h"
+
+namespace fg {
+namespace {
+
+std::string fixture_path(const std::string& name) {
+  return std::string(FG_REPO_DIR) + "/tests/data/certs/" + name;
+}
+
+std::string read_file(const std::string& path) {
+  std::ifstream f(path);
+  EXPECT_TRUE(f.is_open()) << "missing fixture " << path;
+  std::stringstream ss;
+  ss << f.rdbuf();
+  return ss.str();
+}
+
+// The fixed schedule both golden streams are recorded from: star hub
+// deletion, a batch wave, an insertion, one more deletion. Deterministic —
+// no RNG anywhere.
+template <class Engine>
+void run_golden_schedule(Engine* e) {
+  e->remove(0);
+  e->delete_batch(std::vector<NodeId>{1, 2});
+  e->insert(std::vector<NodeId>{3, 4});
+  e->remove(5);
+}
+
+std::string generate_stream(bool dist_engine) {
+  std::ostringstream os;
+  harness::CertificateWriter writer(os);
+  Graph g0 = make_star(9);
+  if (dist_engine) {
+    dist::DistForgivingGraph net(g0);
+    net.set_certificate_sink(&writer);
+    run_golden_schedule(&net);
+  } else {
+    ForgivingGraph network(g0);
+    network.set_certificate_sink(&writer);
+    run_golden_schedule(&network);
+  }
+  return os.str();
+}
+
+void expect_pinned(const std::string& name, const std::string& generated) {
+  const std::string path = fixture_path(name);
+  if (std::getenv("FG_UPDATE_GOLDENS") != nullptr) {
+    std::ofstream f(path);
+    f << generated;
+    GTEST_SKIP() << "updated " << path;
+  }
+  EXPECT_EQ(read_file(path), generated) << name << " drifted";
+}
+
+TEST(CertificateGolden, CentralizedStreamIsPinned) {
+  expect_pinned("golden_central.cert", generate_stream(/*dist_engine=*/false));
+}
+
+TEST(CertificateGolden, DistStreamIsPinned) {
+  expect_pinned("golden_dist.cert", generate_stream(/*dist_engine=*/true));
+}
+
+TEST(CertificateGolden, CorpusValidates) {
+  for (const char* name : {"golden_central.cert", "golden_dist.cert"}) {
+    std::istringstream is(read_file(fixture_path(name)));
+    cert::StreamResult res = cert::check_stream(is);
+    EXPECT_TRUE(res.ok) << name << ": " << res.diagnostic;
+    EXPECT_EQ(res.waves_checked, 3) << name;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Programmatic corruption of each certificate section. The base certificate
+// is the dist fixture's first wave (it has regions, anchors, degrees,
+// stretch witnesses, AND a cost claim — every section represented).
+
+cert::WaveCertificate parse_first_golden_wave() {
+  std::istringstream is(read_file(fixture_path("golden_dist.cert")));
+  cert::WaveCertificate c;
+  bool eof = false;
+  cert::CheckResult res = cert::parse(is, &c, &eof);
+  EXPECT_TRUE(res.ok) << res.diagnostic;
+  EXPECT_FALSE(eof);
+  EXPECT_TRUE(cert::check(c).ok);
+  // Every section the corruptions below target must be populated.
+  EXPECT_FALSE(c.regions.empty());
+  EXPECT_FALSE(c.regions[0].nodes.empty());
+  EXPECT_FALSE(c.regions[0].image_edges.empty());
+  EXPECT_FALSE(c.regions[0].anchors.empty());
+  EXPECT_FALSE(c.degrees.empty());
+  EXPECT_FALSE(c.stretch.empty());
+  EXPECT_TRUE(c.cost.present);
+  return c;
+}
+
+void expect_rejected(const cert::WaveCertificate& c, const std::string& rule,
+                     const std::string& label) {
+  cert::CheckResult res = cert::check(c);
+  ASSERT_FALSE(res.ok) << label << ": forgery not detected";
+  EXPECT_NE(res.diagnostic.find(rule), std::string::npos)
+      << label << " misdiagnosed as: " << res.diagnostic;
+  // Localization: every diagnostic names the wave it rejects.
+  EXPECT_NE(res.diagnostic.find("wave "), std::string::npos) << res.diagnostic;
+
+  // The text path agrees with the in-memory path: serialize and re-check.
+  std::stringstream ss;
+  c.save(ss);
+  cert::StreamResult stream = cert::check_stream(ss);
+  ASSERT_FALSE(stream.ok) << label << ": forgery survived serialization";
+  EXPECT_EQ(stream.diagnostic, res.diagnostic) << label;
+}
+
+TEST(CertificateNegative, DegreeClaimOffByOne) {
+  cert::WaveCertificate c = parse_first_golden_wave();
+  // Push one surviving node one past the Theorem-1.1 accounting bound.
+  cert::DegreeClaim& d = c.degrees.front();
+  ASSERT_GT(d.gprime, 0);
+  d.g_after = c.degree_constant * d.gprime + 1;
+  expect_rejected(c, "degree", "degree off-by-one");
+}
+
+TEST(CertificateNegative, DegreeDeltaExceedsWaveEdges) {
+  cert::WaveCertificate c = parse_first_golden_wave();
+  // Within the constant, but claiming more growth than the wave's new
+  // incident image edges can explain.
+  cert::DegreeClaim& d = c.degrees.front();
+  d.gprime = 1000;  // defuse the 4x rule; the delta rule must still fire
+  d.g_after = d.g_before + static_cast<int>(c.facts.size()) +
+              static_cast<int>(c.regions[0].image_edges.size()) + 10;
+  expect_rejected(c, "degree", "unexplained degree growth");
+}
+
+TEST(CertificateNegative, DroppedRtEdge) {
+  cert::WaveCertificate c = parse_first_golden_wave();
+  c.regions[0].image_edges.pop_back();
+  expect_rejected(c, "image-edges", "dropped RT edge");
+}
+
+TEST(CertificateNegative, ForgedRtLink) {
+  cert::WaveCertificate c = parse_first_golden_wave();
+  // Point a non-root node's parent at itself: link symmetry breaks.
+  for (cert::RtNode& n : c.regions[0].nodes) {
+    if (n.parent < 0) continue;
+    n.parent = (n.parent + 1) % static_cast<int>(c.regions[0].nodes.size());
+    break;
+  }
+  expect_rejected(c, "rt-structure", "forged RT link");
+}
+
+TEST(CertificateNegative, AnchorWithoutLeaf) {
+  cert::WaveCertificate c = parse_first_golden_wave();
+  c.regions[0].anchors.front().first += 1000;
+  expect_rejected(c, "anchors", "anchor without a leaf");
+}
+
+TEST(CertificateNegative, TruncatedWitnessPath) {
+  cert::WaveCertificate c = parse_first_golden_wave();
+  ASSERT_GE(c.stretch.front().path.size(), 2u);
+  c.stretch.front().path.pop_back();
+  expect_rejected(c, "stretch", "truncated witness path");
+}
+
+TEST(CertificateNegative, InflatedRoundBudget) {
+  cert::WaveCertificate c = parse_first_golden_wave();
+  c.cost.rounds = 1 << 20;
+  expect_rejected(c, "cost", "inflated round budget");
+}
+
+TEST(CertificateNegative, VictimAssignedToUnknownRegion) {
+  cert::WaveCertificate c = parse_first_golden_wave();
+  ASSERT_FALSE(c.assign.empty());
+  c.assign[0] = static_cast<int>(c.regions.size());
+  expect_rejected(c, "partition", "bad region assignment");
+}
+
+TEST(CertificateNegative, VictimListedAsSurvivor) {
+  cert::WaveCertificate c = parse_first_golden_wave();
+  ASSERT_FALSE(c.victims.empty());
+  c.degrees.push_back(cert::DegreeClaim{c.victims[0], 1, 1, 1});
+  expect_rejected(c, "degree", "victim listed as survivor");
+}
+
+// ---------------------------------------------------------------------------
+// Text-level corruption: things a struct mutation cannot express.
+
+TEST(CertificateNegative, BadVersionLine) {
+  std::string text = read_file(fixture_path("golden_central.cert"));
+  ASSERT_EQ(text.rfind("fgcert 1\n", 0), 0u);
+  text.replace(0, 8, "fgcert 2");
+  std::istringstream is(text);
+  cert::StreamResult res = cert::check_stream(is);
+  ASSERT_FALSE(res.ok);
+  EXPECT_NE(res.diagnostic.find("version"), std::string::npos) << res.diagnostic;
+}
+
+TEST(CertificateNegative, TruncatedStream) {
+  std::string text = read_file(fixture_path("golden_central.cert"));
+  // Cut the stream mid-certificate: drop everything from the last "end".
+  size_t cut = text.rfind("end\n");
+  ASSERT_NE(cut, std::string::npos);
+  std::istringstream is(text.substr(0, cut));
+  cert::StreamResult res = cert::check_stream(is);
+  ASSERT_FALSE(res.ok);
+  EXPECT_NE(res.diagnostic.find("format"), std::string::npos) << res.diagnostic;
+  // The two intact leading certificates still counted.
+  EXPECT_EQ(res.waves_checked, 2);
+}
+
+TEST(CertificateNegative, GarbageLine) {
+  std::string text = read_file(fixture_path("golden_central.cert"));
+  size_t pos = text.find("degrees ");
+  ASSERT_NE(pos, std::string::npos);
+  text.insert(pos, "garbage here\n");
+  std::istringstream is(text);
+  cert::StreamResult res = cert::check_stream(is);
+  ASSERT_FALSE(res.ok);
+}
+
+}  // namespace
+}  // namespace fg

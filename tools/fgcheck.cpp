@@ -1,0 +1,176 @@
+// fgcheck — standalone verifier for Forgiving Graph repair certificates.
+//
+// Usage:
+//   fgcheck FILE...        validate certificate streams (use "-" for stdin)
+//   fgcheck --selftest     run the built-in positive/negative fixtures
+//
+// Exit status 0 iff every input validates. A rejection prints one localized
+// diagnostic to stderr: "<file>: wave <w>[ region <r>]: <rule>: <detail>".
+//
+// This binary links src/cert + src/graph ONLY — no fg:: engine code — so it
+// cannot share a defect with the engines whose output it audits (the
+// independence argument of docs/CERTIFICATES.md; the CMake link line is
+// gated by scripts/check_docs.py).
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+
+#include "cert/certificate.h"
+
+namespace {
+
+int check_stream_named(std::istream& is, const std::string& name) {
+  fg::cert::StreamResult res = fg::cert::check_stream(is);
+  if (!res.ok) {
+    std::cerr << name << ": " << res.diagnostic << '\n';
+    return 1;
+  }
+  std::cout << name << ": " << res.waves_checked << " wave(s) OK\n";
+  return 0;
+}
+
+// A hand-written wave: star hub 0 with leaves 1..3 deleted; one region,
+// three anchors, the Figure-2 style haft over three leaves. Every checker
+// rule has something to bite on (structure, anchors, image edges, degrees,
+// a stretch witness riding this wave's RT edges, and a cost claim).
+constexpr const char* kGoodCert =
+    "fgcert 1\n"
+    "wave 0\n"
+    "net 4 3\n"
+    "degree-constant 4\n"
+    "stretch-bound 2\n"
+    "victims 1 0\n"
+    "assign 0\n"
+    "regions 1\n"
+    "region 0\n"
+    "rvictims 1 0\n"
+    "anchors 3\n"
+    "a 1 0\n"
+    "a 2 0\n"
+    "a 3 0\n"
+    "rt 5\n"
+    "v 0 help 2 0 -1 1 4\n"
+    "v 1 help 1 0 0 2 3\n"
+    "v 2 leaf 1 0 1 -1 -1\n"
+    "v 3 leaf 2 0 1 -1 -1\n"
+    "v 4 leaf 3 0 0 -1 -1\n"
+    "iedges 2\n"
+    "e 1 2\n"
+    "e 2 3\n"
+    "endregion\n"
+    "degrees 3\n"
+    "d 1 1 1 1\n"
+    "d 2 1 1 2\n"
+    "d 3 1 1 1\n"
+    "stretch 1\n"
+    "s 1 3 2 2 1 2 3\n"
+    "facts 2\n"
+    "f 1 2 rt 0\n"
+    "f 2 3 rt 0\n"
+    "end\n";
+
+struct Corruption {
+  const char* label;
+  const char* from;  ///< Line to replace (must occur in kGoodCert).
+  const char* to;
+  const char* rule;  ///< Substring the diagnostic must contain.
+};
+
+// One corruption per checker rule family; --selftest proves each is caught
+// with the right localization.
+constexpr Corruption kCorruptions[] = {
+    {"bad version", "fgcert 1\n", "fgcert 9\n", "version"},
+    {"victim in two regions", "assign 0\n", "assign 1\n", "partition"},
+    {"asymmetric parent link", "v 4 leaf 3 0 0 -1 -1\n", "v 4 leaf 3 0 1 -1 -1\n",
+     "rt-structure"},
+    {"haft order flipped", "v 0 help 2 0 -1 1 4\n", "v 0 help 2 0 -1 4 1\n",
+     "haft"},
+    {"anchor without leaf", "a 3 0\n", "a 9 0\n", "anchors"},
+    {"dropped image edge", "iedges 2\ne 1 2\ne 2 3\n", "iedges 1\ne 1 2\n",
+     "image-edges"},
+    {"degree past the constant", "d 2 1 1 2\n", "d 2 1 1 9\n", "degree"},
+    {"truncated witness path", "s 1 3 2 2 1 2 3\n", "s 1 3 2 2 1 2\n",
+     "stretch"},
+    {"unsupported witness hop", "facts 2\nf 1 2 rt 0\nf 2 3 rt 0\n",
+     "facts 1\nf 1 2 rt 0\n", "no supporting edge fact"},
+    {"rt fact outside its region", "facts 2\nf 1 2 rt 0\nf 2 3 rt 0\n",
+     "facts 3\nf 1 2 rt 0\nf 1 3 rt 0\nf 2 3 rt 0\n",
+     "not an image edge of region"},
+    {"inflated round budget", "end\n", "cost 10 20 4000 3\nend\n", "cost"},
+    {"truncated certificate", "facts 2\nf 1 2 rt 0\nf 2 3 rt 0\nend\n",
+     "facts 2\nf 1 2 rt 0\n", "format"},
+};
+
+std::string replace_once(const std::string& text, const std::string& from,
+                         const std::string& to) {
+  size_t pos = text.find(from);
+  if (pos == std::string::npos) return {};
+  return text.substr(0, pos) + to + text.substr(pos + from.size());
+}
+
+int selftest() {
+  int failures = 0;
+  {
+    std::istringstream is(kGoodCert);
+    fg::cert::StreamResult res = fg::cert::check_stream(is);
+    if (!res.ok || res.waves_checked != 1) {
+      std::cerr << "selftest: good certificate rejected: " << res.diagnostic
+                << '\n';
+      ++failures;
+    }
+  }
+  for (const Corruption& c : kCorruptions) {
+    std::string text = replace_once(kGoodCert, c.from, c.to);
+    if (text.empty()) {
+      std::cerr << "selftest: corruption \"" << c.label
+                << "\" does not apply to the fixture\n";
+      ++failures;
+      continue;
+    }
+    std::istringstream is(text);
+    fg::cert::StreamResult res = fg::cert::check_stream(is);
+    if (res.ok) {
+      std::cerr << "selftest: corruption \"" << c.label << "\" not detected\n";
+      ++failures;
+    } else if (res.diagnostic.find(c.rule) == std::string::npos) {
+      std::cerr << "selftest: corruption \"" << c.label
+                << "\" misdiagnosed as: " << res.diagnostic << '\n';
+      ++failures;
+    }
+  }
+  if (failures == 0) {
+    std::cout << "fgcheck selftest: 1 good + "
+              << sizeof(kCorruptions) / sizeof(kCorruptions[0])
+              << " corrupted fixtures OK\n";
+    return 0;
+  }
+  return 1;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) {
+    std::cerr << "usage: fgcheck [--selftest] FILE...\n";
+    return 2;
+  }
+  int status = 0;
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg == "--selftest") {
+      status |= selftest();
+    } else if (arg == "-") {
+      status |= check_stream_named(std::cin, "<stdin>");
+    } else {
+      std::ifstream f(arg);
+      if (!f) {
+        std::cerr << arg << ": cannot open\n";
+        status = 1;
+        continue;
+      }
+      status |= check_stream_named(f, arg);
+    }
+  }
+  return status;
+}
