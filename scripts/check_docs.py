@@ -17,7 +17,11 @@
    docs/API.md and as code tokens in src/graph/graph.h, FlatCountMap must
    exist and be named by docs/DESIGN.md, and unordered_set must never
    reappear in the Graph header.
-5. The certificate subsystem keeps its independence guarantee
+5. The healer-service surface stays in sync: the serving-loop names
+   (HealerService, ChurnOp, certify_every, ...) must appear both in
+   docs/API.md and as code tokens in src/fg/healer_service.h, and
+   docs/DESIGN.md must keep its "Healer service" section.
+6. The certificate subsystem keeps its independence guarantee
    (docs/CERTIFICATES.md): src/cert sources never include engine headers
    (fg/, harness/, heal/, net/, adversary/), the fgcheck link line in
    CMakeLists.txt names fg_cert only (never fg_core), the cert API names
@@ -70,7 +74,11 @@ def check_links():
 
 # Snippets that must exist somewhere in docs/ (a deleted marker pair would
 # otherwise silently drop the check).
-REQUIRED_SNIPPETS = ("quickstart.cpp", "sharded_quickstart.cpp")
+REQUIRED_SNIPPETS = (
+    "quickstart.cpp",
+    "sharded_quickstart.cpp",
+    "healer_service_quickstart.cpp",
+)
 
 SNIPPET_RE = re.compile(
     r"<!-- BEGIN (?P<name>[\w.\-]+) -->\n```cpp\n(?P<body>.*?)```\n<!-- END (?P=name) -->",
@@ -213,6 +221,62 @@ def check_graph_api_sync():
     return problems
 
 
+# The healer-service gate: the serving-loop surface documented in
+# docs/API.md and docs/DESIGN.md must exist as code tokens in its header,
+# and both docs must actually carry their sections (a deleted heading
+# would silently orphan the quickstart and the API table).
+HEALER_HEADER = "src/fg/healer_service.h"
+HEALER_API_NAMES = (
+    "HealerService",
+    "HealerConfig",
+    "HealerStats",
+    "ChurnOp",
+    "ChurnStream",
+    "VectorChurnStream",
+    "wave_size",
+    "certify_every",
+    "push",
+    "flush",
+    "run",
+    "set_alert",
+    "set_certificate_stream",
+    "set_admission_hook",
+    "stale_replans",
+    "cert_rejections",
+    "latency_percentile",
+)
+
+
+def check_healer_service_sync():
+    problems = []
+    header = REPO / HEALER_HEADER
+    api_md = (REPO / "docs" / "API.md").read_text()
+    design_md = (REPO / "docs" / "DESIGN.md").read_text()
+    if not header.exists():
+        return [f"{HEALER_HEADER}: missing, but the docs document its API"]
+    code = header_code(header)
+    for name in HEALER_API_NAMES:
+        if not re.search(r"\b" + re.escape(name) + r"\b", code):
+            problems.append(
+                f"{HEALER_HEADER}: documented healer-service API name `{name}` "
+                "does not appear in its code — update docs/API.md or the header")
+        if name not in api_md:
+            problems.append(
+                f"docs/API.md: healer-service API name `{name}` is "
+                "undocumented — the HealerService section must cover the "
+                "full serving-loop surface")
+    if "## Healer service" not in design_md:
+        problems.append(
+            "docs/DESIGN.md: missing the 'Healer service' section "
+            "(snapshot-based planning, epoch-gated admission, sampled "
+            "certificate guardrail)")
+    if "fg/healer_service.h" not in api_md:
+        problems.append(
+            "docs/API.md: the HealerService section must name its header "
+            "(fg/healer_service.h)")
+    return problems
+
+
 # The certificate independence gate. The whole value of tools/fgcheck is
 # that it cannot share a defect with the engines it audits; that property
 # lives in two places the compiler does not enforce: the src/cert include
@@ -290,7 +354,8 @@ def check_certificate_independence():
 
 def main():
     problems = (check_links() + check_snippet_sync() + check_concurrency_sync() +
-                check_graph_api_sync() + check_certificate_independence())
+                check_graph_api_sync() + check_healer_service_sync() +
+                check_certificate_independence())
     for p in problems:
         print(p, file=sys.stderr)
     if problems:
@@ -298,8 +363,9 @@ def main():
     print(f"docs OK: {sum(1 for _ in markdown_files())} markdown files, "
           "links resolve, example snippets in sync, CONCURRENCY.md API names "
           "and C4 wording match the headers, Graph view API in sync (no "
-          "unordered_set in the surface), certificate checker independent "
-          "(includes + fgcheck link line) and its API/version in sync")
+          "unordered_set in the surface), healer-service API in sync, "
+          "certificate checker independent (includes + fgcheck link line) "
+          "and its API/version in sync")
 
 
 if __name__ == "__main__":

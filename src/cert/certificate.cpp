@@ -6,6 +6,7 @@
 #include <set>
 #include <sstream>
 #include <string>
+#include <unordered_map>
 #include <utility>
 
 #include "graph/algorithms.h"
@@ -624,6 +625,17 @@ CheckResult check(const WaveCertificate& c) {
   std::set<std::pair<NodeId, NodeId>> wave_edges;
   for (const RegionCert& rc : c.regions)
     wave_edges.insert(rc.image_edges.begin(), rc.image_edges.end());
+  // Incident counts up front: after sustained churn a wave's affected set
+  // (and so both the edge list and the degree section) can run to tens of
+  // thousands of entries, and a per-claim scan of wave_edges turns the
+  // in-process guardrail check quadratic — seconds per certificate, which
+  // the healer service's sampling budget cannot absorb.
+  std::unordered_map<NodeId, int> incident_count;
+  incident_count.reserve(2 * wave_edges.size());
+  for (const auto& [u, v] : wave_edges) {
+    ++incident_count[u];
+    ++incident_count[v];
+  }
 
   // degree: no victim may be claimed as a survivor; every claim respects the
   // accounting constant and the wave's own new incident edges.
@@ -646,9 +658,8 @@ CheckResult check(const WaveCertificate& c) {
                            std::to_string(d.g_after) + " > " +
                            std::to_string(c.degree_constant) + " * " +
                            std::to_string(d.gprime) + " (Theorem 1.1)");
-      int incident = 0;
-      for (const auto& [u, v] : wave_edges)
-        if (u == d.node || v == d.node) ++incident;
+      auto it = incident_count.find(d.node);
+      const int incident = it == incident_count.end() ? 0 : it->second;
       if (d.g_after > d.g_before + incident)
         return ck.fail("degree", "node " + std::to_string(d.node) + " gained " +
                                      std::to_string(d.g_after - d.g_before) +

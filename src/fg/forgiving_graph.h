@@ -120,6 +120,12 @@ class ForgivingGraph {
     return core_.slot_roots(v);
   }
 
+  /// The core's mutation epoch: every plan is stamped with it, and the
+  /// service loop's admission gate compares stamps to detect a stale plan
+  /// before the core's FG_CHECK would refuse it (fg/healer_service.h;
+  /// docs/DESIGN.md, "Healer service").
+  uint64_t mutation_epoch() const { return core_.mutation_epoch(); }
+
   /// The actual healed network G.
   const Graph& healed() const { return core_.image(); }
 

@@ -1,0 +1,276 @@
+#include "fg/healer_service.h"
+
+#include <algorithm>
+#include <chrono>
+#include <ostream>
+#include <utility>
+
+#include "util/check.h"
+
+namespace fg {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double ms_since(Clock::time_point t0) {
+  return std::chrono::duration<double, std::milli>(Clock::now() - t0).count();
+}
+
+}  // namespace
+
+double HealerStats::latency_percentile(double p) const {
+  if (wave_ms.empty()) return 0.0;
+  std::vector<double> sorted = wave_ms;
+  std::sort(sorted.begin(), sorted.end());
+  // Linear interpolation between closest ranks (the numpy default).
+  double rank = (p / 100.0) * static_cast<double>(sorted.size() - 1);
+  size_t lo = static_cast<size_t>(rank);
+  size_t hi = std::min(lo + 1, sorted.size() - 1);
+  double frac = rank - static_cast<double>(lo);
+  return sorted[lo] + frac * (sorted[hi] - sorted[lo]);
+}
+
+HealerService::HealerService(const Graph& g0, HealerConfig config)
+    : fg_(g0), config_(config) {
+  FG_CHECK_MSG(config_.wave_size >= 1, "wave_size must be at least 1");
+  FG_CHECK_MSG(config_.certify_every >= 0, "certify_every must be non-negative");
+  fg_.set_shard_workers(config_.plan_workers);
+  fg_.set_commit_workers(config_.commit_workers);
+  if (config_.overlap) planner_.thread = std::thread([this] { planner_loop(); });
+}
+
+HealerService::~HealerService() {
+  if (planner_.thread.joinable()) {
+    {
+      std::lock_guard<std::mutex> lock(planner_.mutex);
+      planner_.state = Planner::State::kStop;
+    }
+    planner_.cv.notify_all();
+    planner_.thread.join();
+  }
+}
+
+void HealerService::push(const ChurnOp& op) {
+  ++stats_.ops;
+  if (inflight_) {
+    // A plan is in flight: the engine must stay quiescent (the planner is
+    // reading it), so the op buffers in stream order. Once a whole next
+    // chunk is here, wave N has had its full overlap window — retire it
+    // and let the buffered ops through.
+    pending_.push_back(op);
+    if (op.kind == ChurnOp::Kind::kDelete) ++pending_deletes_;
+    if (pending_deletes_ >= config_.wave_size) {
+      retire_inflight();
+      drain_pending();
+    }
+    return;
+  }
+  ingest(op);
+}
+
+void HealerService::flush() {
+  for (;;) {
+    if (inflight_) {
+      retire_inflight();
+      drain_pending();
+      continue;
+    }
+    if (!pending_.empty()) {
+      drain_pending();
+      continue;
+    }
+    if (!forming_.empty()) {
+      dispatch_wave();
+      continue;
+    }
+    break;
+  }
+  check_pending_certificate();
+}
+
+int64_t HealerService::run(ChurnStream& stream) {
+  int64_t before = stats_.ops;
+  ChurnOp op;
+  while (stream.next(&op)) push(op);
+  flush();
+  return stats_.ops - before;
+}
+
+void HealerService::ingest(const ChurnOp& op) {
+  FG_CHECK(!inflight_);
+  if (op.kind == ChurnOp::Kind::kInsert) {
+    fg_.insert(op.neighbors);
+    ++stats_.inserts;
+    return;
+  }
+  // Deletes are validated against the live engine at ingest time — which,
+  // by the quiescence rule above, is always after every earlier wave
+  // committed, so serial and pipelined execution agree on every drop.
+  if (!fg_.is_alive(op.victim) || forming_set_.contains(op.victim)) {
+    ++stats_.dropped_deletes;
+    return;
+  }
+  forming_.push_back(op.victim);
+  forming_set_.insert(op.victim);
+  if (static_cast<int>(forming_.size()) >= config_.wave_size) dispatch_wave();
+}
+
+void HealerService::dispatch_wave() {
+  FG_CHECK(!inflight_ && !forming_.empty());
+  std::vector<NodeId> victims = std::move(forming_);
+  forming_.clear();
+  forming_set_.clear();
+
+  if (!config_.overlap) {
+    // Serial reference: plan inline, then run the identical admission path
+    // the pipelined loop runs — same hook, same gate, same commit — so the
+    // two modes share every line that decides *what* commits.
+    const int64_t wave = stats_.waves;
+    Clock::time_point t0 = Clock::now();
+    core::RepairPlan plan = fg_.plan_delete_batch(victims);
+    stats_.plan_ms.push_back(ms_since(t0));
+    admit_and_commit(std::move(victims), std::move(plan), wave, t0);
+    check_pending_certificate();
+    return;
+  }
+
+  inflight_victims_ = std::move(victims);
+  {
+    std::lock_guard<std::mutex> lock(planner_.mutex);
+    FG_CHECK(planner_.state == Planner::State::kIdle);
+    planner_.victims = inflight_victims_;
+    planner_.state = Planner::State::kRequested;
+  }
+  planner_.cv.notify_all();
+  inflight_ = true;
+}
+
+void HealerService::retire_inflight() {
+  FG_CHECK(inflight_);
+  // The deferred guardrail check of the previously sampled wave runs here,
+  // while the in-flight plan may still be computing — certificate checking
+  // never touches the engine, so it overlaps the read-only planning.
+  check_pending_certificate();
+
+  Clock::time_point t0 = Clock::now();
+  core::RepairPlan plan;
+  {
+    std::unique_lock<std::mutex> lock(planner_.mutex);
+    planner_.cv.wait(lock, [&] { return planner_.state == Planner::State::kDone; });
+    plan = std::move(planner_.plan);
+    stats_.plan_ms.push_back(planner_.plan_ms);
+    planner_.state = Planner::State::kIdle;
+  }
+  inflight_ = false;
+  admit_and_commit(std::move(inflight_victims_), std::move(plan), stats_.waves, t0);
+}
+
+void HealerService::admit_and_commit(std::vector<NodeId> victims,
+                                     core::RepairPlan plan, int64_t wave,
+                                     Clock::time_point t0) {
+  if (admission_hook_) admission_hook_(wave);
+
+  // The epoch gate: the plan was computed against an epoch-stamped logical
+  // snapshot; if any mutation landed since — an op the pipeline sequenced
+  // here, or an external engine() call — the plan is stale, and committing
+  // it would die on the core's FG_CHECK. Detect, re-plan, never commit.
+  if (plan.epoch != fg_.mutation_epoch()) {
+    ++stats_.stale_replans;
+    // The intervening mutation may even have killed victims (an external
+    // delete through engine()); re-validate before re-planning.
+    std::vector<NodeId> alive;
+    alive.reserve(victims.size());
+    for (NodeId v : victims)
+      if (fg_.is_alive(v)) alive.push_back(v);
+    stats_.dropped_deletes += static_cast<int64_t>(victims.size() - alive.size());
+    victims = std::move(alive);
+    if (victims.empty()) {
+      ++stats_.waves;
+      stats_.wave_ms.push_back(ms_since(t0));
+      return;
+    }
+    plan = fg_.plan_delete_batch(victims);
+  }
+
+  const bool sampled =
+      config_.certify_every > 0 && wave % config_.certify_every == 0;
+  if (sampled) {
+    collector_.certs.clear();
+    fg_.set_certificate_sink(&collector_);
+  }
+  fg_.commit_delete_batch(plan);
+  if (sampled) {
+    fg_.set_certificate_sink(nullptr);
+    FG_CHECK(collector_.certs.size() == 1);
+    pending_cert_ = std::move(collector_.certs.front());
+    pending_cert_wave_ = wave;
+    collector_.certs.clear();
+    ++stats_.certified_waves;
+  }
+  stats_.deletes += static_cast<int64_t>(victims.size());
+  ++stats_.waves;
+  stats_.wave_ms.push_back(ms_since(t0));
+}
+
+void HealerService::drain_pending() {
+  // Ops buffered during the retired wave's tenure, in stream order.
+  // Ingesting them may fill and dispatch the next wave mid-drain; the rest
+  // re-buffers behind it, and if a whole further chunk is already waiting,
+  // that wave retires too — a large burst pipelines through wave by wave.
+  for (;;) {
+    std::vector<ChurnOp> batch;
+    batch.swap(pending_);
+    pending_deletes_ = 0;
+    for (ChurnOp& op : batch) {
+      if (inflight_) {
+        if (op.kind == ChurnOp::Kind::kDelete) ++pending_deletes_;
+        pending_.push_back(std::move(op));
+      } else {
+        ingest(op);
+      }
+    }
+    if (inflight_ && pending_deletes_ >= config_.wave_size) {
+      retire_inflight();
+      continue;
+    }
+    break;
+  }
+}
+
+void HealerService::check_pending_certificate() {
+  if (!pending_cert_) return;
+  if (cert_stream_ != nullptr) pending_cert_->save(*cert_stream_);
+  cert::CheckResult res = cert::check(*pending_cert_);
+  if (!res.ok) {
+    ++stats_.cert_rejections;
+    if (alert_) alert_(pending_cert_wave_, res.diagnostic);
+  }
+  pending_cert_.reset();
+}
+
+void HealerService::planner_loop() {
+  std::unique_lock<std::mutex> lock(planner_.mutex);
+  for (;;) {
+    planner_.cv.wait(lock, [&] {
+      return planner_.state == Planner::State::kRequested ||
+             planner_.state == Planner::State::kStop;
+    });
+    if (planner_.state == Planner::State::kStop) return;
+    std::vector<NodeId> victims = std::move(planner_.victims);
+    lock.unlock();
+    // Read-only against the quiescent engine: the service buffers every
+    // mutation while this runs (the snapshot the plan's epoch stamps).
+    Clock::time_point t0 = Clock::now();
+    core::RepairPlan plan = fg_.plan_delete_batch(victims);
+    double plan_ms = ms_since(t0);
+    lock.lock();
+    if (planner_.state == Planner::State::kStop) return;
+    planner_.plan = std::move(plan);
+    planner_.plan_ms = plan_ms;
+    planner_.state = Planner::State::kDone;
+    planner_.cv.notify_all();
+  }
+}
+
+}  // namespace fg

@@ -1,0 +1,254 @@
+// Sustained-churn healer service: the long-lived serving loop over the
+// sharded plan/commit pipeline (docs/DESIGN.md, "Healer service").
+//
+// Every layer below this one heals a single deletion wave at a time. The
+// paper's model, though, is *continuous* churn: an adversary inserting and
+// deleting processors indefinitely while the structure self-heals. The
+// HealerService turns the single-wave machinery into that serving loop:
+//
+//   * It ingests a continuous insert/delete stream (push / run) and chops
+//     it into repair waves of `wave_size` deletions. Inserts apply in
+//     stream order; deletions accumulate into the next wave.
+//   * Planning is SNAPSHOT-BASED: a wave's RepairPlan is computed against
+//     the epoch-stamped logical snapshot the plan records
+//     (core::RepairPlan::epoch). With overlap enabled, a persistent
+//     planner thread computes the plan of wave N+1 while the service
+//     retires wave N — certificate checking, stream ingestion, and
+//     bookkeeping all overlap the (read-only) planning. The service never
+//     mutates the engine while a plan is in flight: ops that arrive
+//     meanwhile are buffered and drained, in stream order, after the
+//     in-flight wave commits.
+//   * Admission is EPOCH-GATED: before committing, the service compares
+//     the plan's epoch stamp against the engine's current mutation epoch.
+//     A stale plan — any mutation landed between snapshot and admission —
+//     is detected and re-planned, never committed (the core would refuse
+//     it with a loud FG_CHECK death; the service turns that hard wall
+//     into a re-plan + counter). Pipelined and serial execution are
+//     byte-identical: checkpoints and certificate bytes are a pure
+//     function of the op stream, never of overlap or worker counts
+//     (contract C4 extended to the service loop —
+//     tests/healer_service_test.cpp).
+//   * Certificates are a SAMPLED PRODUCTION GUARDRAIL: every k-th wave
+//     (certify_every) emits a per-wave certificate (src/cert,
+//     docs/CERTIFICATES.md), which the service re-validates in-process
+//     with the first-principles checker — overlapped with the next wave's
+//     planning — and surfaces rejections through a service-level alert
+//     callback. The sampled stream can also be teed to an ostream for an
+//     offline tools/fgcheck audit.
+#pragma once
+
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <iosfwd>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <thread>
+#include <unordered_set>
+#include <vector>
+
+#include "cert/certificate.h"
+#include "fg/forgiving_graph.h"
+#include "graph/graph.h"
+#include "harness/certificate.h"
+
+namespace fg {
+
+/// One operation of a churn stream.
+struct ChurnOp {
+  enum class Kind { kInsert, kDelete };
+
+  Kind kind = Kind::kDelete;
+  NodeId victim = kInvalidNode;    ///< kDelete: the processor to delete.
+  std::vector<NodeId> neighbors;   ///< kInsert: attachment points (alive, distinct).
+
+  static ChurnOp Insert(std::vector<NodeId> neighbors) {
+    ChurnOp op;
+    op.kind = Kind::kInsert;
+    op.neighbors = std::move(neighbors);
+    return op;
+  }
+  static ChurnOp Delete(NodeId victim) {
+    ChurnOp op;
+    op.kind = Kind::kDelete;
+    op.victim = victim;
+    return op;
+  }
+};
+
+/// Pull-based op source for HealerService::run. next() fills `*op` and
+/// returns true, or returns false when the stream is drained.
+class ChurnStream {
+ public:
+  virtual ~ChurnStream() = default;
+  virtual bool next(ChurnOp* op) = 0;
+};
+
+/// Replayable vector-backed stream (what the seeded tests use: the same
+/// vector fed to the pipelined service and the serial reference must
+/// produce byte-identical results).
+class VectorChurnStream final : public ChurnStream {
+ public:
+  explicit VectorChurnStream(std::vector<ChurnOp> ops) : ops_(std::move(ops)) {}
+
+  bool next(ChurnOp* op) override {
+    if (pos_ >= ops_.size()) return false;
+    *op = ops_[pos_++];
+    return true;
+  }
+
+ private:
+  std::vector<ChurnOp> ops_;
+  size_t pos_ = 0;
+};
+
+/// Service policy knobs. Every combination of overlap / worker counts is
+/// behaviour-identical (C4); the knobs trade wall clock only.
+struct HealerConfig {
+  /// Deletions per repair wave. The service heals a wave as soon as this
+  /// many distinct, still-alive victims accumulated (flush() heals a
+  /// partial trailing wave).
+  int wave_size = 64;
+  /// Certificate guardrail sampling period: every k-th wave (wave indices
+  /// 0, k, 2k, ...) is certified and re-checked in-process. 0 disables the
+  /// guardrail entirely (no emission cost).
+  int certify_every = 0;
+  /// Overlap planning of wave N+1 with the retirement of wave N on a
+  /// persistent planner thread. Off: plan inline (the serial reference).
+  bool overlap = true;
+  /// Forwarded to ForgivingGraph::set_shard_workers / set_commit_workers.
+  int plan_workers = 1;
+  int commit_workers = 1;
+};
+
+/// Service counters and per-wave latency record.
+struct HealerStats {
+  int64_t ops = 0;              ///< Ops ingested (inserts + deletes, dropped included).
+  int64_t inserts = 0;          ///< Insertions applied.
+  int64_t deletes = 0;          ///< Deletions healed (committed in some wave).
+  int64_t dropped_deletes = 0;  ///< Deletes of already-dead or already-pending victims.
+  int64_t waves = 0;            ///< Repair waves committed.
+  int64_t stale_replans = 0;    ///< Plans the epoch gate rejected and re-planned.
+  int64_t certified_waves = 0;  ///< Waves the guardrail sampled.
+  int64_t cert_rejections = 0;  ///< Sampled certificates the checker rejected.
+
+  /// Per-wave repair latency (milliseconds) as the service loop saw it:
+  /// planner stall + admission (re-plan included) + commit. With overlap,
+  /// the planning that finished before retirement costs nothing here.
+  std::vector<double> wave_ms;
+  /// Per-wave planning wall clock (milliseconds), measured where the plan
+  /// ran (planner thread or inline).
+  std::vector<double> plan_ms;
+
+  /// Percentile over wave_ms (p in [0, 100]; 0 for an empty record).
+  double latency_percentile(double p) const;
+};
+
+/// The long-running healer loop: continuous churn in, repaired waves out,
+/// sampled certificates checked on the side.
+class HealerService {
+ public:
+  /// Alert callback: fired on the service thread when a sampled
+  /// certificate fails the in-process check, with the wave index and the
+  /// checker's diagnostic.
+  using AlertFn = std::function<void(int64_t wave, const std::string& diagnostic)>;
+  /// Test seam: fired at admission time, after the plan is available but
+  /// before the epoch gate. Runs on the service thread with no plan in
+  /// flight, so the hook may mutate the engine — which is exactly how the
+  /// stale-plan tests drive a mutation between snapshot and commit.
+  using AdmissionHook = std::function<void(int64_t wave)>;
+
+  explicit HealerService(const Graph& g0, HealerConfig config = {});
+  ~HealerService();
+
+  HealerService(const HealerService&) = delete;
+  HealerService& operator=(const HealerService&) = delete;
+
+  /// The engine the service drives. Mutating it while a plan is in flight
+  /// is the caller's race to lose — do it only from the admission hook or
+  /// when the service is drained (after flush()). The service owns the
+  /// engine's certificate sink; don't install your own.
+  ForgivingGraph& engine() { return fg_; }
+  const ForgivingGraph& engine() const { return fg_; }
+
+  const HealerConfig& config() const { return config_; }
+  const HealerStats& stats() const { return stats_; }
+
+  void set_alert(AlertFn alert) { alert_ = std::move(alert); }
+  void set_admission_hook(AdmissionHook hook) { admission_hook_ = std::move(hook); }
+
+  /// Tee every sampled certificate to `os` in the canonical text format —
+  /// a stream tools/fgcheck re-validates offline (the CI service-loop
+  /// audit). nullptr disables.
+  void set_certificate_stream(std::ostream* os) { cert_stream_ = os; }
+
+  /// Ingest one op. Inserts apply in stream order; deletes accumulate into
+  /// the forming wave (duplicates and dead victims are dropped, counted in
+  /// stats().dropped_deletes). A full wave dispatches automatically; with
+  /// overlap on, ops pushed while a plan is in flight are buffered and
+  /// drained after that wave commits.
+  void push(const ChurnOp& op);
+
+  /// Drain the pipeline: retire any in-flight wave, heal the partial
+  /// trailing wave, and finish the deferred certificate check. The service
+  /// is idle afterwards (and may keep ingesting).
+  void flush();
+
+  /// push() every op of `stream`, then flush(). Returns ops ingested.
+  int64_t run(ChurnStream& stream);
+
+ private:
+  /// One-slot planner pipe: the persistent planner thread computes one
+  /// read-only RepairPlan at a time against the (quiescent) engine.
+  struct Planner {
+    std::thread thread;
+    std::mutex mutex;
+    std::condition_variable cv;
+    enum class State { kIdle, kRequested, kDone, kStop } state = State::kIdle;
+    std::vector<NodeId> victims;
+    core::RepairPlan plan;
+    double plan_ms = 0.0;
+  };
+
+  void ingest(const ChurnOp& op);
+  void dispatch_wave();
+  void retire_inflight();
+  /// The shared admission path of both modes: test hook, epoch gate (stale
+  /// -> re-validate victims, re-plan), sampled certificate emission, commit,
+  /// per-wave bookkeeping. `t0` is when the service started waiting on this
+  /// wave (what wave_ms measures from).
+  void admit_and_commit(std::vector<NodeId> victims, core::RepairPlan plan,
+                        int64_t wave, std::chrono::steady_clock::time_point t0);
+  void drain_pending();
+  void check_pending_certificate();
+  void planner_loop();
+
+  ForgivingGraph fg_;
+  HealerConfig config_;
+  HealerStats stats_;
+  AlertFn alert_;
+  AdmissionHook admission_hook_;
+  std::ostream* cert_stream_ = nullptr;
+
+  /// The wave being formed (victims validated against the live engine).
+  std::vector<NodeId> forming_;
+  std::unordered_set<NodeId> forming_set_;
+  /// Ops buffered while a plan is in flight, in stream order.
+  std::vector<ChurnOp> pending_;
+  int64_t pending_deletes_ = 0;
+
+  /// In-flight wave (overlap mode): victims handed to the planner.
+  bool inflight_ = false;
+  std::vector<NodeId> inflight_victims_;
+  Planner planner_;
+
+  /// Sampled certificate awaiting its deferred in-process check (runs
+  /// overlapped with the next wave's planning).
+  std::optional<cert::WaveCertificate> pending_cert_;
+  int64_t pending_cert_wave_ = 0;
+  harness::CertificateCollector collector_;
+};
+
+}  // namespace fg

@@ -133,4 +133,24 @@ Graph make_barabasi_albert(int n, int m, Rng& rng) {
   return g;
 }
 
+Graph make_sparse_random(int n, double avg_degree, Rng& rng) {
+  FG_CHECK(n >= 1);
+  FG_CHECK_MSG(avg_degree >= 2.0, "the spanning tree alone has mean degree ~2");
+  // Connectivity by construction: a uniform random attachment tree.
+  Graph g = make_random_tree(n, rng);
+  if (n < 2) return g;
+  // Top up to ~avg_degree mean degree with uniformly sampled extra edges.
+  // add_edge rejects duplicates, so the loop counts attempts, not
+  // successes: at sparse densities collisions are rare and the expected
+  // degree error is far below the generator's own variance.
+  int64_t extra =
+      static_cast<int64_t>(avg_degree / 2.0 * n) - static_cast<int64_t>(n - 1);
+  for (int64_t i = 0; i < extra; ++i) {
+    NodeId u = static_cast<NodeId>(rng.next_below(static_cast<uint64_t>(n)));
+    NodeId v = static_cast<NodeId>(rng.next_below(static_cast<uint64_t>(n)));
+    if (u != v) g.add_edge(u, v);
+  }
+  return g;
+}
+
 }  // namespace fg

@@ -40,4 +40,12 @@ Graph make_erdos_renyi(int n, double p, Rng& rng);
 /// literature the paper's related-work section discusses.
 Graph make_barabasi_albert(int n, int m, Rng& rng);
 
+/// Connected sparse random graph with ~avg_degree mean degree, built in
+/// O(n * avg_degree): a uniform random spanning tree plus uniformly sampled
+/// extra edges (duplicates skipped). The million-node substrate the
+/// sustained-churn service driver starts from — make_erdos_renyi flips all
+/// O(n^2) coins and is unusable past ~10^4 nodes. Requires avg_degree >= 2
+/// (the tree alone contributes mean degree just under 2).
+Graph make_sparse_random(int n, double avg_degree, Rng& rng);
+
 }  // namespace fg

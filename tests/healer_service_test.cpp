@@ -1,0 +1,317 @@
+// The healer-service battery: contract C4 extended to the serving loop.
+//
+// The pipelined service (overlap on, any worker count) must be an exact
+// refinement of the serial wave-at-a-time reference: the same seeded churn
+// stream produces byte-identical engine checkpoints AND byte-identical
+// sampled-certificate streams, because overlap and worker counts are pure
+// scheduling choices — the op stream alone decides what commits
+// (src/fg/healer_service.h, the quiescence rule). On top of that, the
+// epoch-gated admission path is driven through its test seam: a mutation
+// landing between snapshot and commit must be detected and re-planned,
+// never committed — the core's FG_CHECK death is the wall the gate keeps
+// the service from hitting.
+#include <gtest/gtest.h>
+
+#include <numeric>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "cert/certificate.h"
+#include "fg/healer_service.h"
+#include "graph/generators.h"
+#include "util/rng.h"
+
+namespace fg {
+namespace {
+
+std::string checkpoint(const ForgivingGraph& fg) {
+  std::stringstream ss;
+  fg.save(ss);
+  return ss.str();
+}
+
+/// Seeded mixed churn stream over a pool mirror (the bench driver's scheme
+/// in miniature): every delete victim leaves the pool when generated and
+/// every insert's future id joins it, so the stream is valid by
+/// construction and fully determined by (n, ops, seed).
+std::vector<ChurnOp> make_stream(int n, int ops, uint64_t seed) {
+  Rng rng(seed);
+  std::vector<NodeId> pool(static_cast<size_t>(n));
+  std::iota(pool.begin(), pool.end(), NodeId{0});
+  NodeId next_id = static_cast<NodeId>(n);
+
+  std::vector<ChurnOp> stream;
+  stream.reserve(static_cast<size_t>(ops));
+  for (int i = 0; i < ops; ++i) {
+    if (pool.size() > 16 && rng.next_bool(0.5)) {
+      size_t j = static_cast<size_t>(rng.next_below(pool.size()));
+      NodeId victim = pool[j];
+      pool[j] = pool.back();
+      pool.pop_back();
+      stream.push_back(ChurnOp::Delete(victim));
+    } else {
+      NodeId a = rng.pick(pool);
+      NodeId b = a;
+      while (b == a) b = rng.pick(pool);
+      stream.push_back(ChurnOp::Insert({a, b}));
+      pool.push_back(next_id++);
+    }
+  }
+  return stream;
+}
+
+struct ServiceRun {
+  std::string checkpoint;
+  std::string cert_bytes;
+  HealerStats stats;
+};
+
+ServiceRun run_service(const Graph& g0, const std::vector<ChurnOp>& ops,
+                       HealerConfig config) {
+  HealerService service(g0, config);
+  std::ostringstream certs;
+  service.set_certificate_stream(&certs);
+  int64_t alerts = 0;
+  service.set_alert([&alerts](int64_t, const std::string&) { ++alerts; });
+  VectorChurnStream stream(ops);
+  service.run(stream);
+  EXPECT_EQ(alerts, 0);
+  EXPECT_EQ(service.stats().cert_rejections, 0);
+  return ServiceRun{checkpoint(service.engine()), certs.str(), service.stats()};
+}
+
+// ---------------------------------------------------------------------------
+// Pipelined-vs-serial equivalence.
+
+class HealerServiceEquivalence : public ::testing::TestWithParam<int> {};
+
+TEST_P(HealerServiceEquivalence, PipelinedMatchesSerialByteIdentically) {
+  const int workers = GetParam();
+  Rng rng(9001);
+  Graph g0 = make_sparse_random(400, 5.0, rng);
+  std::vector<ChurnOp> ops = make_stream(400, 3000, 0xFEED);
+
+  HealerConfig serial;
+  serial.wave_size = 16;
+  serial.certify_every = 8;
+  serial.overlap = false;
+  ServiceRun reference = run_service(g0, ops, serial);
+  ASSERT_GT(reference.stats.waves, 10);
+  ASSERT_GT(reference.stats.certified_waves, 2);
+  ASSERT_FALSE(reference.cert_bytes.empty());
+
+  HealerConfig pipelined = serial;
+  pipelined.overlap = true;
+  pipelined.plan_workers = workers;
+  pipelined.commit_workers = workers;
+  ServiceRun overlapped = run_service(g0, ops, pipelined);
+
+  // Byte-identical engine state AND certificate stream: the serving loop's
+  // schedule (overlap, worker counts) is invisible in everything it emits.
+  EXPECT_EQ(reference.checkpoint, overlapped.checkpoint)
+      << "checkpoint diverged at " << workers << " workers";
+  EXPECT_EQ(reference.cert_bytes, overlapped.cert_bytes)
+      << "certificate stream diverged at " << workers << " workers";
+  EXPECT_EQ(reference.stats.waves, overlapped.stats.waves);
+  EXPECT_EQ(reference.stats.deletes, overlapped.stats.deletes);
+  EXPECT_EQ(reference.stats.inserts, overlapped.stats.inserts);
+  EXPECT_EQ(reference.stats.dropped_deletes, overlapped.stats.dropped_deletes);
+  EXPECT_EQ(reference.stats.certified_waves, overlapped.stats.certified_waves);
+  EXPECT_EQ(overlapped.stats.stale_replans, 0);
+}
+
+INSTANTIATE_TEST_SUITE_P(WorkerCounts, HealerServiceEquivalence,
+                         ::testing::Values(1, 2, 4));
+
+// Fixed small substrate for the hand-written streams below.
+Graph make_test_substrate() {
+  Rng rng(5);
+  return make_sparse_random(64, 4.0, rng);
+}
+
+TEST(HealerService, DuplicateAndDeadDeletesDropConsistently) {
+  // Duplicates inside one forming wave and deletes of long-dead victims
+  // must be dropped by the same rule in both modes — drops are decided at
+  // ingest time, when every earlier wave has already committed.
+  Graph g0 = make_test_substrate();
+  std::vector<ChurnOp> ops;
+  for (NodeId v : {NodeId{3}, NodeId{3}, NodeId{7}, NodeId{9}, NodeId{11}})
+    ops.push_back(ChurnOp::Delete(v));  // 3 repeats inside the window
+  for (NodeId v : {NodeId{3}, NodeId{7}})
+    ops.push_back(ChurnOp::Delete(v));  // long dead by now
+  ops.push_back(ChurnOp::Insert({NodeId{20}, NodeId{21}}));
+
+  HealerConfig serial;
+  serial.wave_size = 4;
+  serial.overlap = false;
+  ServiceRun reference = run_service(g0, ops, serial);
+
+  HealerConfig pipelined = serial;
+  pipelined.overlap = true;
+  ServiceRun overlapped = run_service(g0, ops, pipelined);
+
+  EXPECT_EQ(reference.stats.dropped_deletes, 3);
+  EXPECT_EQ(overlapped.stats.dropped_deletes, 3);
+  EXPECT_EQ(reference.stats.deletes, 4);
+  EXPECT_EQ(reference.checkpoint, overlapped.checkpoint);
+}
+
+TEST(HealerService, FlushHealsThePartialTrailingWave) {
+  Rng rng(6);
+  Graph g0 = make_sparse_random(64, 4.0, rng);
+  HealerConfig config;
+  config.wave_size = 4;
+  HealerService service(g0, config);
+  for (NodeId v = 0; v < 5; ++v) service.push(ChurnOp::Delete(v));
+  service.flush();
+  EXPECT_EQ(service.stats().waves, 2);  // one full wave + the trailing 1
+  EXPECT_EQ(service.stats().deletes, 5);
+  service.engine().validate();
+}
+
+// ---------------------------------------------------------------------------
+// Epoch-gated admission.
+
+TEST(HealerService, StaleAdmissionReplansInsteadOfCommitting) {
+  Rng rng(7);
+  Graph g0 = make_sparse_random(128, 4.0, rng);
+  HealerConfig config;
+  config.wave_size = 4;
+  HealerService service(g0, config);
+
+  // The seam fires between snapshot and commit; an insert through engine()
+  // bumps the mutation epoch without touching any planned victim.
+  int64_t hooked_wave = -1;
+  service.set_admission_hook([&](int64_t wave) {
+    if (wave != 0 || hooked_wave != -1) return;
+    hooked_wave = wave;
+    std::vector<NodeId> neighbors{NodeId{60}, NodeId{61}};
+    service.engine().insert(neighbors);
+  });
+
+  for (NodeId v = 0; v < 8; ++v) service.push(ChurnOp::Delete(v));
+  service.flush();
+
+  EXPECT_EQ(hooked_wave, 0);
+  EXPECT_EQ(service.stats().stale_replans, 1);
+  EXPECT_EQ(service.stats().waves, 2);
+  EXPECT_EQ(service.stats().deletes, 8);  // the re-planned wave committed whole
+  EXPECT_EQ(service.stats().dropped_deletes, 0);
+  for (NodeId v = 0; v < 8; ++v) EXPECT_FALSE(service.engine().is_alive(v));
+  service.engine().validate();
+}
+
+TEST(HealerService, StaleAdmissionRevalidatesKilledVictims) {
+  Rng rng(8);
+  Graph g0 = make_sparse_random(128, 4.0, rng);
+  HealerConfig config;
+  config.wave_size = 4;
+  HealerService service(g0, config);
+
+  // The intervening mutation is itself a deletion of one of the wave's own
+  // victims: the gate must drop the now-dead victim and re-plan the rest.
+  bool fired = false;
+  service.set_admission_hook([&](int64_t wave) {
+    if (wave != 0 || fired) return;
+    fired = true;
+    service.engine().remove(NodeId{2});
+  });
+
+  for (NodeId v = 0; v < 4; ++v) service.push(ChurnOp::Delete(v));
+  service.flush();
+
+  EXPECT_TRUE(fired);
+  EXPECT_EQ(service.stats().stale_replans, 1);
+  EXPECT_EQ(service.stats().dropped_deletes, 1);  // victim 2 died externally
+  EXPECT_EQ(service.stats().deletes, 3);
+  for (NodeId v = 0; v < 4; ++v) EXPECT_FALSE(service.engine().is_alive(v));
+  service.engine().validate();
+}
+
+TEST(HealerServiceDeathTest, ForcedStaleCommitDiesWithoutTheGate) {
+  // What the admission gate protects against: bypass the service and drive
+  // the engine's plan/commit split directly — a mutation between the two
+  // hits the core's FG_CHECK wall. The service turns this death into the
+  // re-plan counted by the tests above.
+  Rng rng(9);
+  Graph g0 = make_sparse_random(64, 4.0, rng);
+  HealerConfig config;
+  config.overlap = false;  // no planner thread in the parent of the death fork
+  HealerService service(g0, config);
+  std::vector<NodeId> wave{NodeId{1}, NodeId{2}};
+  core::RepairPlan plan = service.engine().plan_delete_batch(wave);
+  service.push(ChurnOp::Insert({NodeId{10}, NodeId{11}}));  // epoch bump
+  EXPECT_DEATH(service.engine().commit_delete_batch(plan), "stale plan");
+}
+
+// ---------------------------------------------------------------------------
+// Sampled certificate guardrail.
+
+TEST(HealerService, GuardrailSamplesEveryKthWaveAndTeesValidCertificates) {
+  Rng rng(10);
+  Graph g0 = make_sparse_random(256, 4.0, rng);
+  std::vector<ChurnOp> ops = make_stream(256, 800, 0xCAFE);
+
+  HealerConfig config;
+  config.wave_size = 8;
+  config.certify_every = 3;
+  HealerService service(g0, config);
+  std::ostringstream certs;
+  service.set_certificate_stream(&certs);
+  VectorChurnStream stream(ops);
+  service.run(stream);
+
+  const HealerStats& stats = service.stats();
+  ASSERT_GT(stats.waves, 6);
+  // Waves 0, 3, 6, ... are sampled.
+  EXPECT_EQ(stats.certified_waves, (stats.waves + 2) / 3);
+  EXPECT_EQ(stats.cert_rejections, 0);
+
+  // The teed stream is a valid fgcheck input: every certificate parses,
+  // passes the first-principles checker, and carries the engine's
+  // sequential certified-wave ordinal (the k-th sampled wave is stamped k,
+  // whatever service wave it sampled).
+  std::istringstream in(certs.str());
+  int64_t parsed = 0;
+  for (;;) {
+    cert::WaveCertificate c;
+    bool eof = false;
+    cert::CheckResult pr = cert::parse(in, &c, &eof);
+    if (eof) break;
+    ASSERT_TRUE(pr.ok) << pr.diagnostic;
+    EXPECT_EQ(c.wave, parsed);
+    cert::CheckResult cr = cert::check(c);
+    EXPECT_TRUE(cr.ok) << cr.diagnostic;
+    ++parsed;
+  }
+  EXPECT_EQ(parsed, stats.certified_waves);
+}
+
+TEST(HealerService, GuardrailOffEmitsNothing) {
+  Rng rng(11);
+  Graph g0 = make_sparse_random(64, 4.0, rng);
+  HealerConfig config;
+  config.wave_size = 4;
+  config.certify_every = 0;
+  HealerService service(g0, config);
+  std::ostringstream certs;
+  service.set_certificate_stream(&certs);
+  for (NodeId v = 0; v < 12; ++v) service.push(ChurnOp::Delete(v));
+  service.flush();
+  EXPECT_EQ(service.stats().certified_waves, 0);
+  EXPECT_TRUE(certs.str().empty());
+}
+
+TEST(HealerService, RunReportsIngestedOpCount) {
+  Rng rng(12);
+  Graph g0 = make_sparse_random(64, 4.0, rng);
+  HealerService service(g0);
+  std::vector<ChurnOp> ops = make_stream(64, 100, 13);
+  VectorChurnStream stream(ops);
+  EXPECT_EQ(service.run(stream), 100);
+  EXPECT_EQ(service.stats().ops, 100);
+}
+
+}  // namespace
+}  // namespace fg

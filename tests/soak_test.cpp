@@ -3,8 +3,11 @@
 // within a few seconds total; the benches cover the large scales.
 #include <gtest/gtest.h>
 
+#include <numeric>
+
 #include "fg/dist/dist_forgiving_graph.h"
 #include "fg/forgiving_graph.h"
+#include "fg/healer_service.h"
 #include "graph/algorithms.h"
 #include "graph/generators.h"
 #include "haft/haft.h"
@@ -77,6 +80,57 @@ TEST(Soak, DistributedEquivalenceLongRun) {
   EXPECT_TRUE(central.healed().same_topology(distributed.image()));
   central.validate();
   distributed.validate();
+}
+
+TEST(Soak, ChurnStreamThroughHealerService) {
+  // The serving loop under a longer pipelined churn stream, with the
+  // sampled guardrail as the oracle: every k-th wave's certificate is
+  // re-derived and checked from first principles by src/cert (which never
+  // links the engine), and the structural invariants are re-validated at
+  // the end. The generator mirrors the alive pool the way the bench driver
+  // does, so no delete is ever dropped.
+  Rng rng(0x50AC);
+  const int n = 300;
+  Graph g0 = make_sparse_random(n, 5.0, rng);
+  HealerConfig config;
+  config.wave_size = 16;
+  config.certify_every = 5;
+  HealerService service(g0, config);
+  int64_t alerts = 0;
+  service.set_alert([&alerts](int64_t, const std::string&) { ++alerts; });
+
+  std::vector<NodeId> pool(static_cast<size_t>(n));
+  std::iota(pool.begin(), pool.end(), NodeId{0});
+  NodeId next_id = static_cast<NodeId>(n);
+  for (int step = 0; step < 4000; ++step) {
+    if (pool.size() > 32 && rng.next_bool(0.55)) {
+      size_t j = static_cast<size_t>(rng.next_below(pool.size()));
+      NodeId victim = pool[j];
+      pool[j] = pool.back();
+      pool.pop_back();
+      service.push(ChurnOp::Delete(victim));
+    } else {
+      NodeId a = rng.pick(pool);
+      NodeId b = a;
+      while (b == a) b = rng.pick(pool);
+      service.push(ChurnOp::Insert({a, b}));
+      pool.push_back(next_id++);
+    }
+  }
+  service.flush();
+
+  const HealerStats& stats = service.stats();
+  EXPECT_EQ(stats.ops, 4000);
+  EXPECT_EQ(stats.dropped_deletes, 0);
+  EXPECT_GT(stats.waves, 100);
+  EXPECT_EQ(stats.certified_waves, (stats.waves + 4) / 5);
+  EXPECT_EQ(stats.cert_rejections, 0);
+  EXPECT_EQ(alerts, 0);
+  EXPECT_EQ(stats.stale_replans, 0);
+
+  service.engine().validate();
+  ASSERT_TRUE(is_connected(service.engine().healed()));
+  EXPECT_LE(service.engine().max_degree_ratio(), 4.0);
 }
 
 TEST(Soak, StageWiseGrind) {
