@@ -13,7 +13,7 @@
 //   --wave N           deletions per repair wave   (default 64)
 //   --certify-every K  guardrail sampling period   (default 256; 0 = off)
 //   --serial           disable pipelined planning  (A/B reference)
-//   --plan-workers N / --commit-workers N
+//   --plan-workers N / --commit-workers N / --break-workers N
 //   --seed S
 //   --cert-stream P    tee sampled certificates to file P (fgcheck input —
 //                      the CI service-loop audit re-validates it)
@@ -55,6 +55,8 @@ int main(int argc, char** argv) {
       cfg.service.plan_workers = static_cast<int>(next_int("--plan-workers"));
     } else if (!std::strcmp(argv[i], "--commit-workers")) {
       cfg.service.commit_workers = static_cast<int>(next_int("--commit-workers"));
+    } else if (!std::strcmp(argv[i], "--break-workers")) {
+      cfg.service.break_workers = static_cast<int>(next_int("--break-workers"));
     } else if (!std::strcmp(argv[i], "--seed")) {
       cfg.seed = static_cast<uint64_t>(next_int("--seed"));
     } else if (!std::strcmp(argv[i], "--cert-stream")) {

@@ -3,6 +3,8 @@
 // the BFS used by the metrics pipeline.
 #include <benchmark/benchmark.h>
 
+#include <sstream>
+
 #include "fg/dist/dist_forgiving_graph.h"
 #include "fg/forgiving_graph.h"
 #include "graph/algorithms.h"
@@ -74,6 +76,32 @@ void BM_ForgivingGraphStarHub(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_ForgivingGraphStarHub)->Arg(256)->Arg(4096)->Unit(benchmark::kMicrosecond);
+
+void BM_BreakPhase(benchmark::State& state) {
+  // The break phase alone: build a star, heal the hub (one big RT over n-1
+  // pieces), plan a spoke wave, then time commit_break only — the phase PR 8
+  // made region-parallel and moved onto flat slot tables. Setup and the
+  // plan are untimed (PauseTiming); the engine is rebuilt per iteration
+  // because a break consumes its plan.
+  const int n = static_cast<int>(state.range(0));
+  constexpr int kWave = 16;
+  for (auto _ : state) {
+    state.PauseTiming();
+    ForgivingGraph fg(make_star(n));
+    fg.remove(0);
+    std::stringstream ss;
+    fg.save(ss);
+    core::StructuralCore core = core::StructuralCore::load(ss);
+    std::vector<NodeId> wave;
+    for (NodeId v = 1; v <= kWave; ++v) wave.push_back(v);
+    core::RepairPlan plan =
+        core.plan_deletion(wave, core::RegionSplit::kPerRegion);
+    state.ResumeTiming();
+    benchmark::DoNotOptimize(core.commit_break(plan));
+  }
+  state.SetItemsProcessed(state.iterations() * kWave);
+}
+BENCHMARK(BM_BreakPhase)->Arg(1024)->Arg(4096)->Unit(benchmark::kMicrosecond);
 
 void BM_DistributedRepair(benchmark::State& state) {
   // Full message-passing repair of a star hub; compare with

@@ -18,11 +18,13 @@
 // Prints the measured tables and writes the same rows as a
 // BENCH_repair_path.json artifact (cwd) for docs/EXPERIMENTS.md.
 // Wall-clock numbers vary by machine; ratios are the reproducible part.
+#include <atomic>
 #include <chrono>
 #include <cmath>
 #include <cstdlib>
 #include <fstream>
 #include <iostream>
+#include <memory>
 #include <sstream>
 #include <string>
 #include <thread>
@@ -32,6 +34,7 @@
 #include "bench_common.h"
 #include "cert/certificate.h"
 #include "churn_common.h"
+#include "fg/core/slot_table.h"
 #include "fg/dist/dist_forgiving_graph.h"
 #include "fg/forgiving_graph.h"
 #include "graph/generators.h"
@@ -234,6 +237,34 @@ void adjacency_micro(Table& t) {
   }
 }
 
+// Scenario F2 (R7): the slot-table substrate isolated from repair logic —
+// sorted flat small-vector lookups (core::SlotTable, the PR that shed the
+// per-processor hash maps). Tracked so slot-table regressions bisect here
+// instead of into the wave scenarios.
+void slot_lookup(Table& t) {
+  constexpr int kProcs = 4096;
+  constexpr int kSlotsPer = 8;
+  constexpr int kSweeps = 64;
+  Rng rng(33);
+  core::SlotTable slots;
+  slots.resize(kProcs);
+  std::vector<std::pair<NodeId, NodeId>> keys;
+  for (NodeId v = 0; v < kProcs; ++v)
+    for (int i = 0; i < kSlotsPer; ++i) {
+      NodeId other = static_cast<NodeId>(rng.next_below(kProcs));
+      slots.ensure(v, other).leaf = VNodeId{1};
+      keys.push_back({v, other});
+    }
+  int64_t hits = 0;
+  for (const auto& [v, o] : keys) hits += slots.find(v, o) != nullptr;  // warm
+  auto t0 = std::chrono::steady_clock::now();
+  for (int s = 0; s < kSweeps; ++s)
+    for (const auto& [v, o] : keys) hits += slots.find(v, o) != nullptr;
+  double ms = ms_since(t0);
+  FG_CHECK(hits == static_cast<int64_t>((kSweeps + 1) * keys.size()));
+  record(t, "slot_lookup", kProcs, kSweeps * static_cast<int>(keys.size()), ms);
+}
+
 // Scenario E: the star-hub merge — one deletion creating an RT over n-1
 // equal-sized pieces, the workload where the k-way bottom-up planner
 // replaces the O(k^2) sorted-list erase/insert churn (the BM_ForgivingGraph-
@@ -359,6 +390,73 @@ void sharded_wave(Table& t, Table& cost) {
       mark_worker_dependent();
     }
   }
+  // R7: the break phase alone per break-worker count, driven through the
+  // core's public phase API (begin_break / break_region / apply_break_effects
+  // / finish_break) with a CommitPool fan-out — the same pipeline
+  // ShardedForest::execute runs, timed around the break only. The merge then
+  // completes untimed and the checkpoint is FG_CHECKed against the w=1
+  // reference (C4 covers the break fan-out too).
+  double break_w1_ms = 0.0;
+  for (int workers : {1, 2, 4}) {
+    std::stringstream ss(snapshot.str());
+    core::StructuralCore core = core::StructuralCore::load(ss);
+    ShardedForest shards;
+    core::RepairPlan plan = shards.plan(core, wave);
+    const int regions = static_cast<int>(plan.regions.size());
+    // Persistent-pool discipline: spawn before the timer, like the engine.
+    std::unique_ptr<CommitPool> pool =
+        workers > 1 ? std::make_unique<CommitPool>(workers - 1) : nullptr;
+    std::vector<core::StructuralCore::BreakEffects> effects(
+        static_cast<size_t>(regions));
+    auto t0 = std::chrono::steady_clock::now();
+    std::vector<std::vector<VNodeId>> pieces;
+    if (workers == 1) {
+      pieces = core.commit_break(plan);
+    } else {
+      core.begin_break(plan);
+      pieces.resize(static_cast<size_t>(regions));
+      struct Ctx {
+        std::atomic<int> next{0};
+        std::atomic<int> broken{0};
+      };
+      auto ctx = std::make_shared<Ctx>();
+      auto work = [&core, &plan, &pieces, &effects, ctx, regions] {
+        for (;;) {
+          int r = ctx->next.fetch_add(1, std::memory_order_relaxed);
+          if (r >= regions) return;
+          pieces[static_cast<size_t>(r)] = core.break_region(
+              plan.regions[static_cast<size_t>(r)],
+              &effects[static_cast<size_t>(r)]);
+          ctx->broken.fetch_add(1, std::memory_order_release);
+        }
+      };
+      pool->dispatch(work);
+      work();
+      while (ctx->broken.load(std::memory_order_acquire) < regions)
+        std::this_thread::yield();
+      for (int r = 0; r < regions; ++r)
+        core.apply_break_effects(plan.regions[static_cast<size_t>(r)],
+                                 effects[static_cast<size_t>(r)]);
+      core.finish_break(plan);
+    }
+    double break_ms = ms_since(t0);
+
+    shards.commit(core, plan, std::move(pieces));  // untimed merge
+    std::stringstream after;
+    core.save(after);
+    FG_CHECK_MSG(after.str() == reference,
+                 "parallel break diverged from sequential (C4)");
+
+    record(t, "break_w" + std::to_string(workers), kN, kWave, break_ms);
+    mark_worker_dependent();
+    if (workers == 1) break_w1_ms = break_ms;
+    if (workers == 4 && break_ms > 0.0) {
+      g_rows.push_back(
+          {"break_speedup_w4", kN, kWave, break_w1_ms / break_ms, 0.0});
+      mark_worker_dependent();
+    }
+  }
+
   if (single_core()) {
     std::cout << "note: hardware_concurrency() == 1 — the engine never fans "
                  "out here (the CommitPool gate), so the w4 speedup rows "
@@ -494,6 +592,7 @@ int main() {
   wave(t);
   dist_wave(t, cost);
   adjacency_micro(t);
+  slot_lookup(t);
   star_hub_merge(t);
   sharded_wave(t, cost);
   certify_overhead(t);

@@ -20,11 +20,16 @@ int main() {
   using namespace fg;
 
   // A 256-node random substrate, waves of 8 deletions, every 4th wave
-  // certified and checked by the sampled guardrail.
+  // certified and checked by the sampled guardrail. Both commit fan-outs
+  // (break scripts and region merges) run on 2 pool workers — any worker
+  // count heals the identical structure (contract C4), so the knobs are
+  // pure wall-clock tuning.
   Rng rng(7);
   HealerConfig config;
   config.wave_size = 8;
   config.certify_every = 4;
+  config.commit_workers = 2;
+  config.break_workers = 2;
   HealerService service(make_sparse_random(256, 4.0, rng), config);
   service.set_alert([](int64_t wave, const std::string& diagnostic) {
     std::cerr << "guardrail rejected wave " << wave << ": " << diagnostic << '\n';

@@ -17,6 +17,10 @@
    docs/API.md and as code tokens in src/graph/graph.h, FlatCountMap must
    exist and be named by docs/DESIGN.md, and unordered_set must never
    reappear in the Graph header.
+4b. The repair path stays hash-free: no unordered_map/unordered_set code
+   token in the structural core, the sharded forest, or the dist engine
+   (the PR-8 flat-container acceptance criterion — SlotTable, sorted-flat
+   analysis sets, and binary-searched DAG knowledge replaced them all).
 5. The healer-service surface stays in sync: the serving-loop names
    (HealerService, ChurnOp, certify_every, ...) must appear both in
    docs/API.md and as code tokens in src/fg/healer_service.h, and
@@ -184,6 +188,19 @@ GRAPH_API_NAMES = (
 GRAPH_HEADER = "src/graph/graph.h"
 FLAT_MAP_HEADER = "src/util/flat_count_map.h"
 
+# The hash-free repair path (PR 8): these files must never regrow an
+# unordered container — the hot paths run on SlotTable, sorted-flat
+# victim/dirty sets, and binary-searched DAG knowledge instead.
+FLAT_ONLY_FILES = (
+    "src/fg/core/structural_core.h",
+    "src/fg/core/structural_core.cpp",
+    "src/fg/core/slot_table.h",
+    "src/fg/sharded_forest.h",
+    "src/fg/sharded_forest.cpp",
+    "src/fg/dist/dist_forgiving_graph.h",
+    "src/fg/dist/dist_forgiving_graph.cpp",
+)
+
 
 def check_graph_api_sync():
     problems = []
@@ -207,6 +224,17 @@ def check_graph_api_sync():
             f"{GRAPH_HEADER}: unordered_set crept back into the Graph API — "
             "neighbors() must stay a sorted flat view (docs/DESIGN.md, "
             "'Graph substrate')")
+    for rel in FLAT_ONLY_FILES:
+        path = REPO / rel
+        if not path.exists():
+            problems.append(f"{rel}: missing, but the flat-container ban covers it")
+            continue
+        if re.search(r"\bunordered_(?:map|set)\b", header_code(path)):
+            problems.append(
+                f"{rel}: unordered_map/unordered_set crept back into the "
+                "repair path — the core, the sharded forest, and the dist "
+                "engine are sorted-flat only (SlotTable, binary-searched "
+                "analysis sets; docs/DESIGN.md, docs/CONCURRENCY.md)")
     flat_map = REPO / FLAT_MAP_HEADER
     if not flat_map.exists():
         problems.append(
@@ -241,6 +269,7 @@ HEALER_API_NAMES = (
     "set_alert",
     "set_certificate_stream",
     "set_admission_hook",
+    "break_workers",
     "stale_replans",
     "cert_rejections",
     "latency_percentile",

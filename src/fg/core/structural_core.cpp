@@ -13,6 +13,7 @@ namespace fg::core {
 
 StructuralCore::StructuralCore(const Graph& g0) : gprime_(g0), g_(g0) {
   procs_.resize(static_cast<size_t>(g0.node_capacity()));
+  slots_.resize(static_cast<size_t>(g0.node_capacity()));
   image_multiplicity_.reserve(static_cast<size_t>(g0.edge_count()));
   for (NodeId v = 0; v < g0.node_capacity(); ++v) {
     FG_CHECK_MSG(g0.is_alive(v), "initial graph must have no tombstones");
@@ -42,6 +43,7 @@ NodeId StructuralCore::insert_node(std::span<const NodeId> neighbors) {
   NodeId id2 = g_.add_node();
   FG_CHECK(id == id2);
   procs_.emplace_back();
+  slots_.resize(procs_.size());
   for (NodeId y : neighbors) {
     FG_CHECK_MSG(g_.is_alive(y), "insertion neighbor must be alive");
     // add_edge rejects an edge that already exists, so a duplicate in the
@@ -93,16 +95,22 @@ DeletionAnalysis StructuralCore::analyze_deletion(std::span<const NodeId> victim
   a.victims.assign(victims.begin(), victims.end());
   const int k = static_cast<int>(victims.size());
 
-  std::unordered_map<NodeId, int> wave_index;
+  // Wave membership and positions as sorted flat arrays: one sort up
+  // front, then every probe is a binary search over contiguous memory.
+  a.victim_sorted = a.victims;
+  std::sort(a.victim_sorted.begin(), a.victim_sorted.end());
+  FG_CHECK_MSG(std::adjacent_find(a.victim_sorted.begin(), a.victim_sorted.end()) ==
+                   a.victim_sorted.end(),
+               "duplicate victim in batch");
+  std::vector<std::pair<NodeId, int>> wave_index;  // (victim, wave position)
   wave_index.reserve(victims.size());
-  a.victim_set.reserve(victims.size());
   for (int i = 0; i < k; ++i) {
     NodeId v = a.victims[static_cast<size_t>(i)];
     FG_CHECK_MSG(g_.is_alive(v), "deleting a dead or unknown processor");
-    FG_CHECK_MSG(a.victim_set.insert(v).second, "duplicate victim in batch");
-    wave_index[v] = i;
+    wave_index.push_back({v, i});
     a.deleted_degree_gprime += gprime_.degree(v);
   }
+  std::sort(wave_index.begin(), wave_index.end());
 
   // 1. The virtual nodes of the deleted processors — one real node per edge
   //    to an already-deleted neighbor, plus every helper they simulate —
@@ -113,60 +121,96 @@ DeletionAnalysis StructuralCore::analyze_deletion(std::span<const NodeId> victim
   //    disconnect. (A victim never has a slot keyed by another victim:
   //    slots only exist for neighbors that were already dead.)
   Dsu dsu(k);
-  std::unordered_map<VNodeId, int> root_claim;  // RT root -> first victim index
+  std::vector<std::pair<VNodeId, int>> root_claims;  // (RT root, wave position)
   for (int i = 0; i < k; ++i) {
     NodeId v = a.victims[static_cast<size_t>(i)];
-    for (const auto& [other, slot] : procs_[static_cast<size_t>(v)].slots) {
+    for (const SlotTable::Entry& slot : slots_.entries(v)) {
       for (VNodeId h : {slot.leaf, slot.helper}) {
         if (h == kNoVNode) continue;
-        a.dead_vnodes.insert(h);
-        auto [it, fresh] = root_claim.try_emplace(forest_.root_of(h), i);
-        if (!fresh) dsu.unite(i, it->second);
+        a.dead_vnodes.push_back(h);
+        root_claims.push_back({forest_.root_of(h), i});
       }
     }
     for (NodeId y : gprime_.neighbors(v)) {
-      auto it = wave_index.find(y);
-      if (it != wave_index.end()) dsu.unite(i, it->second);
+      auto it = std::lower_bound(wave_index.begin(), wave_index.end(),
+                                 std::pair<NodeId, int>{y, 0});
+      if (it != wave_index.end() && it->first == y) dsu.unite(i, it->second);
     }
   }
+  // Every vnode belongs to exactly one (owner, other) slot, so the
+  // collected handles are already duplicate-free; sort for binary search.
+  std::sort(a.dead_vnodes.begin(), a.dead_vnodes.end());
+  // Victims sharing an RT repair together: group the claims by root and
+  // unite each group (equivalent to the old first-claimant map — the
+  // partition is independent of union order).
+  std::sort(root_claims.begin(), root_claims.end());
+  for (size_t j = 1; j < root_claims.size(); ++j)
+    if (root_claims[j].first == root_claims[j - 1].first)
+      dsu.unite(root_claims[j - 1].second, root_claims[j].second);
   if (split == RegionSplit::kGlobal)
     for (int i = 1; i < k; ++i) dsu.unite(0, i);
 
   // The dirty region: the dead vnodes and all their ancestors. A node is
-  // clean — its subtree contains no dead vnode — iff it is not dirty, so
-  // marking the ancestor chains (stopping at the first already-marked node)
-  // replaces the full-subtree clean() sweep with O(dead * depth) work.
-  for (VNodeId h : a.dead_vnodes) {
-    VNodeId x = h;
-    while (x != kNoVNode && a.dirty.insert(x).second) x = forest_.node(x).parent;
+  // clean — its subtree contains no dead vnode — iff it is not dirty.
+  // Chains are walked in full (Lemma 1 bounds RT depth by O(log n), so
+  // this is O(dead * log n)) and deduplicated by one sort.
+  a.dirty.reserve(a.dead_vnodes.size() * 2);
+  for (VNodeId h : a.dead_vnodes)
+    for (VNodeId x = h; x != kNoVNode; x = forest_.node(x).parent)
+      a.dirty.push_back(x);
+  std::sort(a.dirty.begin(), a.dirty.end());
+  a.dirty.erase(std::unique(a.dirty.begin(), a.dirty.end()), a.dirty.end());
+  // Dense marks for the collect walk's O(1) membership probes (dead marks
+  // second: dead ⊂ dirty, and kDeadMark must win) — but only when the
+  // wave is dense enough to amortize zeroing the whole arena; a sparse
+  // wave (e.g. one victim deep into a long-lived arena) keeps the marks
+  // empty and binary-searches the sorted vectors instead.
+  if (static_cast<int64_t>(forest_.arena_size()) <=
+      static_cast<int64_t>(a.dirty.size()) * 64) {
+    a.vnode_marks.assign(static_cast<size_t>(forest_.arena_size()),
+                         DeletionAnalysis::kClean);
+    for (VNodeId x : a.dirty)
+      a.vnode_marks[static_cast<size_t>(x)] = DeletionAnalysis::kDirtyMark;
+    for (VNodeId h : a.dead_vnodes)
+      a.vnode_marks[static_cast<size_t>(h)] = DeletionAnalysis::kDeadMark;
   }
 
   // 2. Materialize the regions in deterministic commit order: sorted by the
   //    smallest victim id they contain (the shard ordering rule). Victims
   //    keep their wave order within a region; affected roots are sorted
-  //    ascending, as the single-RT path always did.
+  //    ascending, as the single-RT path always did. Representatives are
+  //    wave positions, so dense arrays over [0, k) replace the maps.
   std::vector<int> rep(static_cast<size_t>(k));
-  std::unordered_map<int, NodeId> min_victim;
+  std::vector<NodeId> min_victim(static_cast<size_t>(k), kInvalidNode);  // by rep
   for (int i = 0; i < k; ++i) {
     rep[static_cast<size_t>(i)] = dsu.find(i);
     NodeId v = a.victims[static_cast<size_t>(i)];
-    auto [it, fresh] = min_victim.try_emplace(rep[static_cast<size_t>(i)], v);
-    if (!fresh && v < it->second) it->second = v;
+    NodeId& mv = min_victim[static_cast<size_t>(rep[static_cast<size_t>(i)])];
+    if (mv == kInvalidNode || v < mv) mv = v;
   }
   std::vector<std::pair<NodeId, int>> order;  // (min victim id, rep)
-  order.reserve(min_victim.size());
-  for (const auto& [r, mv] : min_victim) order.push_back({mv, r});
+  for (int r = 0; r < k; ++r)
+    if (min_victim[static_cast<size_t>(r)] != kInvalidNode)
+      order.push_back({min_victim[static_cast<size_t>(r)], r});
   std::sort(order.begin(), order.end());
-  std::unordered_map<int, int> seed_of_rep;
-  for (size_t j = 0; j < order.size(); ++j) seed_of_rep[order[j].second] = static_cast<int>(j);
+  std::vector<int> seed_of_rep(static_cast<size_t>(k), -1);
+  for (size_t j = 0; j < order.size(); ++j)
+    seed_of_rep[static_cast<size_t>(order[j].second)] = static_cast<int>(j);
 
   a.seeds.resize(order.size());
-  for (int i = 0; i < k; ++i)
-    a.seeds[static_cast<size_t>(seed_of_rep.at(rep[static_cast<size_t>(i)]))]
-        .victims.push_back(a.victims[static_cast<size_t>(i)]);
-  for (const auto& [root, i] : root_claim)
-    a.seeds[static_cast<size_t>(seed_of_rep.at(dsu.find(i)))].roots.push_back(root);
-  for (auto& seed : a.seeds) std::sort(seed.roots.begin(), seed.roots.end());
+  a.victim_seed.resize(static_cast<size_t>(k));
+  for (int i = 0; i < k; ++i) {
+    int s = seed_of_rep[static_cast<size_t>(rep[static_cast<size_t>(i)])];
+    a.victim_seed[static_cast<size_t>(i)] = s;
+    a.seeds[static_cast<size_t>(s)].victims.push_back(a.victims[static_cast<size_t>(i)]);
+  }
+  // One root entry per group (claims are sorted by root, so groups are
+  // contiguous and the per-seed root lists come out ascending).
+  for (size_t j = 0; j < root_claims.size(); ++j) {
+    if (j > 0 && root_claims[j].first == root_claims[j - 1].first) continue;
+    int s = seed_of_rep[static_cast<size_t>(rep[static_cast<size_t>(root_claims[j].second)])];
+    a.seeds[static_cast<size_t>(s)].roots.push_back(root_claims[j].first);
+  }
   return a;
 }
 
@@ -189,10 +233,18 @@ void StructuralCore::plan_region(const DeletionAnalysis& analysis, int region,
   // converge to).
   for (NodeId v : seed.victims) {
     for (NodeId y : gprime_.neighbors(v)) {
-      if (!g_.is_alive(y) || analysis.victim_set.contains(y)) continue;
+      if (!g_.is_alive(y) || analysis.is_victim(y)) continue;
       out->fresh.push_back({y, v});
     }
   }
+
+  // Victim-victim G' edges, in the exact order the break drops them. Both
+  // endpoints always land in the same region (a shared G' edge unites
+  // them), so recording the pairs here lets one region's break run with no
+  // wave-wide lookup at all.
+  for (NodeId v : seed.victims)
+    for (NodeId y : gprime_.neighbors(v))
+      if (v < y && analysis.is_victim(y)) out->victim_edges.push_back({v, y});
 
   // Merge-plan input: detached pieces in event order, then fresh leaves —
   // the same deterministic piece order the single-pass walk emitted.
@@ -230,7 +282,6 @@ void StructuralCore::finalize_plan(const DeletionAnalysis& analysis,
   plan->split = analysis.split;
   plan->victims = analysis.victims;
   plan->epoch = epoch_;
-  std::unordered_map<NodeId, int> region_of;
   // The arena-id reservation: region r's commit allocates exactly its
   // anchor leaves plus one helper per merge step, so contiguous handle
   // ranges follow from region order by prefix sums — any commit schedule
@@ -240,20 +291,19 @@ void StructuralCore::finalize_plan(const DeletionAnalysis& analysis,
   for (RegionPlan& region : plan->regions) {
     plan->profile.collect_ms += region.collect_ms;
     plan->profile.merge_ms += region.merge_ms;
-    for (NodeId v : region.victims) region_of[v] = region.id;
     region.arena_base = next_handle;
     next_handle += static_cast<int>(region.fresh.size() + region.steps.size());
   }
   plan->arena_start = arena_start;
   plan->arena_total = next_handle - arena_start;
-  plan->victim_region.clear();
-  plan->victim_region.reserve(plan->victims.size());
-  for (NodeId v : plan->victims) plan->victim_region.push_back(region_of.at(v));
+  // Region ids are seed indices, so the per-victim region assignment is
+  // the analysis' victim_seed verbatim — no lookup table.
+  plan->victim_region = analysis.victim_seed;
 }
 
 void StructuralCore::collect_events(VNodeId root, const DeletionAnalysis& analysis,
                                     RegionPlan* out) const {
-  FG_CHECK_MSG(analysis.dirty.contains(root), "collecting from an unbroken RT");
+  FG_CHECK_MSG(analysis.is_dirty(root), "collecting from an unbroken RT");
 
   // Explicit worklist, left child before right child before the node itself
   // — the same order as the natural recursion, so the piece sequence (and
@@ -274,7 +324,7 @@ void StructuralCore::collect_events(VNodeId root, const DeletionAnalysis& analys
   while (!stack.empty()) {
     Frame& f = stack.back();
     if (f.stage == 0) {
-      if (!analysis.dirty.contains(f.h) && forest_.is_perfect(f.h)) {
+      if (!analysis.is_dirty(f.h) && forest_.is_perfect(f.h)) {
         // Maximal clean perfect subtree: the next piece, detached whole.
         out->events.push_back({true, f.h});
         stack.pop_back();
@@ -291,7 +341,7 @@ void StructuralCore::collect_events(VNodeId root, const DeletionAnalysis& analys
       if (f.right != kNoVNode) stack.push_back({f.right});
     } else {
       out->events.push_back({false, f.h});
-      if (!analysis.dead_vnodes.contains(f.h)) ++out->red_teardowns;  // red helper
+      if (!analysis.is_dead_vnode(f.h)) ++out->red_teardowns;  // red helper
       stack.pop_back();
     }
   }
@@ -300,6 +350,15 @@ void StructuralCore::collect_events(VNodeId root, const DeletionAnalysis& analys
 std::vector<std::vector<VNodeId>> StructuralCore::commit_break(const RepairPlan& plan,
                                                                RepairObserver* observer,
                                                                CommitAlloc alloc) {
+  begin_break(plan, alloc);
+  std::vector<std::vector<VNodeId>> pieces(plan.regions.size());
+  for (const RegionPlan& region : plan.regions)
+    pieces[static_cast<size_t>(region.id)] = break_region(region, nullptr, observer, alloc);
+  finish_break(plan);
+  return pieces;
+}
+
+void StructuralCore::begin_break(const RepairPlan& plan, CommitAlloc alloc) {
   // A stale plan — any mutation since planning, even one that left the
   // arena size unchanged (a teardown-only repair) — would replay a script
   // over state it no longer describes; fail loudly instead.
@@ -314,91 +373,177 @@ std::vector<std::vector<VNodeId>> StructuralCore::commit_break(const RepairPlan&
   }
   last_repair_ = RepairStats{};
   last_repair_.regions = static_cast<int>(plan.regions.size());
-  std::unordered_set<NodeId> victim_set;
-  victim_set.reserve(plan.victims.size());
   for (NodeId v : plan.victims) {
     FG_CHECK_MSG(g_.is_alive(v), "committing a stale plan: victim already dead");
-    victim_set.insert(v);
     last_repair_.deleted_degree_gprime += gprime_.degree(v);
   }
+}
+
+std::vector<VNodeId> StructuralCore::break_region(const RegionPlan& region,
+                                                  BreakEffects* effects,
+                                                  RepairObserver* observer,
+                                                  CommitAlloc alloc) {
   auto parent_owner_of = [&](VNodeId h) {
     VNodeId p = forest_.node(h).parent;
     return p == kNoVNode ? kInvalidNode : forest_.node(p).owner;
   };
-
-  std::vector<std::vector<VNodeId>> pieces(plan.regions.size());
-  for (const RegionPlan& region : plan.regions) {
+  std::vector<VNodeId> out;
+  out.reserve(region.pieces.size());
+  if (effects) {
+    // Recorded mode: everything mutated below is region-local — this
+    // region's own forest nodes (unlinks, uncounted tombstones) and its
+    // reserved arena handles. Shared state (multiplicity map, image graph,
+    // slot tables, counters, the forest's live count) is only ever
+    // *recorded*, which is what makes disjoint regions safe to break
+    // concurrently (docs/CONCURRENCY.md, the break-effects argument).
+    FG_CHECK_MSG(observer == nullptr && alloc == CommitAlloc::kReserved,
+                 "recorded break: reserved allocation only, no observer");
+    effects->reset();
+    effects->affected_rts = static_cast<int>(region.roots.size());
+    effects->edge_drops.reserve(region.events.size() + region.fresh.size() +
+                                region.victim_edges.size());
+  } else {
     if (observer) observer->on_region_begin(region.id);
-    std::vector<VNodeId>& out = pieces[static_cast<size_t>(region.id)];
-    out.reserve(region.pieces.size());
     last_repair_.affected_rts += static_cast<int>(region.roots.size());
+    delta_scratch_.clear();
+  }
 
-    // Replay the break-phase script: detach pieces, tear down dead and red
-    // nodes (children always precede their parent in the script).
-    for (const RegionPlan::Event& e : region.events) {
-      if (e.is_piece) {
+  // Replay the break-phase script: detach pieces, tear down dead and red
+  // nodes (children always precede their parent in the script).
+  for (const RegionPlan::Event& e : region.events) {
+    if (e.is_piece) {
+      if (effects) {
+        const auto& n = forest_.node(e.h);
+        if (n.parent != kNoVNode)
+          effects->edge_drops.push_back({n.owner, forest_.node(n.parent).owner});
+        forest_.unlink_from_parent(e.h);
+      } else {
         if (observer)
           observer->on_piece(e.h, forest_.node(e.h).owner, parent_owner_of(e.h));
         detach_vnode(e.h);
-        out.push_back(e.h);
+      }
+      out.push_back(e.h);
+    } else {
+      if (effects) {
+        const auto& n = forest_.node(e.h);
+        if (n.parent != kNoVNode)
+          effects->edge_drops.push_back({n.owner, forest_.node(n.parent).owner});
+        effects->slot_ops.push_back({n.owner, n.other, e.h, n.is_leaf, false});
+        forest_.remove_uncounted(e.h);
+        ++effects->teardowns;
       } else {
         if (observer)
           observer->on_teardown(e.h, forest_.node(e.h).owner, parent_owner_of(e.h));
         remove_vnode(e.h);
       }
     }
-    last_repair_.helpers_removed += region.red_teardowns;
+  }
+  if (!effects) last_repair_.helpers_removed += region.red_teardowns;
 
-    // Spawn the anchor leaves and drop the victims' surviving image edges.
-    // Under kReserved the j-th fresh leaf lands at its plan-time handle
-    // arena_base + j; the region's helpers follow in the same range. The
-    // edge drops are batched: multiplicities update inline, but the 1 -> 0
-    // transitions collect into the pooled delta buffer and flip in one
-    // apply_edge_deltas sweep per region — nothing below reads or adds
-    // image edges, so the deferral is invisible (and a hub teardown costs
-    // O(degree), not O(degree^2) sorted-list erases).
-    delta_scratch_.clear();
-    int fresh_at = region.arena_base;
-    for (const RegionPlan::FreshLeaf& f : region.fresh) {
+  // Spawn the anchor leaves and drop the victims' surviving image edges.
+  // Under kReserved the j-th fresh leaf lands at its plan-time handle
+  // arena_base + j; the region's helpers follow in the same range. The
+  // edge drops are batched: multiplicities update inline (or at the
+  // stitch), but the 1 -> 0 transitions collect into the pooled delta
+  // buffer and flip in one apply_edge_deltas sweep per region — nothing
+  // below reads or adds image edges, so the deferral is invisible (and a
+  // hub teardown costs O(degree), not O(degree^2) sorted-list erases).
+  int fresh_at = region.arena_base;
+  for (const RegionPlan::FreshLeaf& f : region.fresh) {
+    VNodeId leaf;
+    if (effects) {
+      effects->edge_drops.push_back({f.dead, f.owner});
+      leaf = fresh_at++;
+      forest_.make_leaf_in(leaf, f.owner, f.dead);
+      effects->slot_ops.push_back({f.owner, f.dead, leaf, true, true});
+      ++effects->new_leaves;
+    } else {
       if (image_multiplicity_.decrement(edge_key(f.dead, f.owner)) == 0)
         delta_scratch_.push_back({f.dead, f.owner, EdgeDelta::Op::kRemove});
-      VNodeId leaf;
       if (alloc == CommitAlloc::kReserved) {
         leaf = fresh_at++;
         forest_.make_leaf_in(leaf, f.owner, f.dead);
       } else {
         leaf = forest_.make_leaf(f.owner, f.dead);
       }
-      Slot& s = procs_[static_cast<size_t>(f.owner)].slots[f.dead];
+      SlotTable::Entry& s = slots_.ensure(f.owner, f.dead);
       FG_CHECK(s.leaf == kNoVNode && s.helper == kNoVNode);
       s.leaf = leaf;
       if (observer) observer->on_piece(leaf, f.owner, kInvalidNode);
-      out.push_back(leaf);
       ++last_repair_.new_leaves;
     }
-
-    // Edges between two victims lose their image edge here; both endpoints
-    // are in this region (G'-adjacent victims always share one).
-    for (NodeId v : region.victims)
-      for (NodeId y : gprime_.neighbors(v))
-        if (v < y && victim_set.contains(y) &&
-            image_multiplicity_.decrement(edge_key(v, y)) == 0)
-          delta_scratch_.push_back({v, y, EdgeDelta::Op::kRemove});
-    g_.apply_edge_deltas(delta_scratch_);
-
-    last_repair_.pieces += static_cast<int>(out.size());
-    FG_CHECK_MSG(out.size() == region.pieces.size(),
-                 "committed piece set diverged from the plan");
+    out.push_back(leaf);
   }
 
+  // Edges between two victims lose their image edge here; both endpoints
+  // are in this region (G'-adjacent victims always share one), and the
+  // pairs were fixed at plan time (RegionPlan::victim_edges).
+  if (effects) {
+    for (const auto& [v, y] : region.victim_edges) effects->edge_drops.push_back({v, y});
+  } else {
+    for (const auto& [v, y] : region.victim_edges)
+      if (image_multiplicity_.decrement(edge_key(v, y)) == 0)
+        delta_scratch_.push_back({v, y, EdgeDelta::Op::kRemove});
+    g_.apply_edge_deltas(delta_scratch_);
+    last_repair_.pieces += static_cast<int>(out.size());
+  }
+
+  FG_CHECK_MSG(out.size() == region.pieces.size(),
+               "committed piece set diverged from the plan");
+  return out;
+}
+
+void StructuralCore::apply_break_effects(const RegionPlan& region,
+                                         const BreakEffects& effects) {
+  last_repair_.affected_rts += effects.affected_rts;
+  last_repair_.helpers_removed += region.red_teardowns;
+  last_repair_.new_leaves += effects.new_leaves;
+  last_repair_.pieces += static_cast<int>(region.pieces.size());
+
+  // The batched stitch, mirror image of apply_merge_effects: replay every
+  // multiplicity decrement in break order, collecting only the 1 -> 0
+  // transitions, then flip the image edges in one Graph::apply_edge_deltas
+  // pass. Each undirected edge reaches zero at most once per wave (the
+  // break only ever decrements), so the batch contract holds.
+  delta_scratch_.clear();
+  for (const auto& [u, v] : effects.edge_drops) {
+    if (u == v) continue;  // homomorphism collapses same-processor edges
+    if (image_multiplicity_.decrement(edge_key(u, v)) == 0)
+      delta_scratch_.push_back({u, v, EdgeDelta::Op::kRemove});
+  }
+  g_.apply_edge_deltas(delta_scratch_);
+
+  // Replay the slot writes in script order — identical semantics (and
+  // FG_CHECKs) to what the sequential break applies inline.
+  for (const BreakEffects::SlotOp& op : effects.slot_ops) {
+    if (op.attach) {
+      SlotTable::Entry& s = slots_.ensure(op.owner, op.other);
+      FG_CHECK(s.leaf == kNoVNode && s.helper == kNoVNode);
+      s.leaf = op.h;  // only anchor leaves attach during a break
+    } else {
+      SlotTable::Entry* s = slots_.find(op.owner, op.other);
+      FG_CHECK(s != nullptr);
+      if (op.is_leaf) {
+        FG_CHECK(s->leaf == op.h);
+        s->leaf = kNoVNode;
+      } else {
+        FG_CHECK(s->helper == op.h);
+        s->helper = kNoVNode;
+      }
+      if (s->leaf == kNoVNode && s->helper == kNoVNode) slots_.erase(op.owner, op.other);
+    }
+  }
+  forest_.credit_removals(effects.teardowns);
+}
+
+void StructuralCore::finish_break(const RepairPlan& plan) {
   // The processors themselves die. All of their image edges must be gone.
   for (NodeId v : plan.victims) {
     procs_[static_cast<size_t>(v)].alive = false;
-    procs_[static_cast<size_t>(v)].slots.clear();
+    slots_.clear(v);
     FG_CHECK_MSG(g_.degree(v) == 0, "image bookkeeping left edges on a deleted node");
     g_.remove_node(v);
   }
-  return pieces;
 }
 
 VNodeId StructuralCore::merge_region(const RegionPlan& region,
@@ -430,12 +575,14 @@ VNodeId StructuralCore::merge_region(const RegionPlan& region,
     NodeId left_owner = forest_.node(l).owner;
     NodeId right_owner = forest_.node(r).owner;
     VNodeId h = forest_.make_helper_in(next++, rep_owner, rep_other, l, r);
-    auto& slots = procs_[static_cast<size_t>(rep_owner)].slots;
-    auto it = slots.find(rep_other);
-    FG_CHECK_MSG(it != slots.end(), "representative leaf has no slot entry");
-    FG_CHECK_MSG(it->second.helper == kNoVNode,
+    // In-place write to an existing entry: concurrent merges never insert
+    // or erase slots, so the flat entry arrays are stable and disjoint
+    // regions write disjoint entries (slot_table.h's concurrency contract).
+    SlotTable::Entry* slot = slots_.find(rep_owner, rep_other);
+    FG_CHECK_MSG(slot != nullptr, "representative leaf has no slot entry");
+    FG_CHECK_MSG(slot->helper == kNoVNode,
                  "representative already simulates a helper");
-    it->second.helper = h;
+    slot->helper = h;
     if (effects) {
       effects->image_edges.push_back({rep_owner, left_owner});
       effects->image_edges.push_back({rep_owner, right_owner});
@@ -496,18 +643,17 @@ void StructuralCore::remove_vnode(VNodeId h) {
   bool leaf = n.is_leaf;
   detach_vnode(h);
   forest_.remove(h);
-  auto& proc = procs_[static_cast<size_t>(owner)];
-  if (!proc.alive) return;  // a victim's slots are wiped wholesale
-  auto it = proc.slots.find(other);
-  FG_CHECK(it != proc.slots.end());
+  if (!procs_[static_cast<size_t>(owner)].alive) return;  // a victim's slots are wiped wholesale
+  SlotTable::Entry* s = slots_.find(owner, other);
+  FG_CHECK(s != nullptr);
   if (leaf) {
-    FG_CHECK(it->second.leaf == h);
-    it->second.leaf = kNoVNode;
+    FG_CHECK(s->leaf == h);
+    s->leaf = kNoVNode;
   } else {
-    FG_CHECK(it->second.helper == h);
-    it->second.helper = kNoVNode;
+    FG_CHECK(s->helper == h);
+    s->helper = kNoVNode;
   }
-  if (it->second.leaf == kNoVNode && it->second.helper == kNoVNode) proc.slots.erase(it);
+  if (s->leaf == kNoVNode && s->helper == kNoVNode) slots_.erase(owner, other);
 }
 
 haft::PieceInfo StructuralCore::piece_info(VNodeId root) const {
@@ -527,7 +673,7 @@ VNodeId StructuralCore::join_pieces(VNodeId left, VNodeId right) {
   NodeId left_owner = forest_.node(left).owner;
   NodeId right_owner = forest_.node(right).owner;
   VNodeId h = forest_.make_helper(rep_owner, rep_other, left, right);
-  Slot& s = procs_[static_cast<size_t>(rep_owner)].slots[rep_other];
+  SlotTable::Entry& s = slots_.ensure(rep_owner, rep_other);
   FG_CHECK_MSG(s.helper == kNoVNode, "representative already simulates a helper");
   s.helper = h;
   add_image_edge(rep_owner, left_owner);
@@ -543,7 +689,7 @@ void StructuralCore::finish_repair(VNodeId final_root) {
 int StructuralCore::helper_count(NodeId v) const {
   FG_CHECK(v >= 0 && static_cast<size_t>(v) < procs_.size());
   int count = 0;
-  for (const auto& [other, slot] : procs_[static_cast<size_t>(v)].slots)
+  for (const SlotTable::Entry& slot : slots_.entries(v))
     if (slot.helper != kNoVNode) ++count;
   return count;
 }
@@ -551,7 +697,7 @@ int StructuralCore::helper_count(NodeId v) const {
 std::vector<VNodeId> StructuralCore::slot_roots(NodeId v) const {
   FG_CHECK(v >= 0 && static_cast<size_t>(v) < procs_.size());
   std::vector<VNodeId> roots;
-  for (const auto& [other, slot] : procs_[static_cast<size_t>(v)].slots)
+  for (const SlotTable::Entry& slot : slots_.entries(v))
     for (VNodeId h : {slot.leaf, slot.helper})
       if (h != kNoVNode) roots.push_back(forest_.root_of(h));
   std::sort(roots.begin(), roots.end());
@@ -595,6 +741,7 @@ StructuralCore StructuralCore::load(std::istream& is) {
     core.g_.add_node();
   }
   core.procs_.resize(static_cast<size_t>(capacity));
+  core.slots_.resize(static_cast<size_t>(capacity));
 
   expect("dead");
   {
@@ -639,7 +786,7 @@ StructuralCore StructuralCore::load(std::istream& is) {
   for (VNodeId h = 0; h < static_cast<VNodeId>(nodes.size()); ++h) {
     const auto& n = nodes[static_cast<size_t>(h)];
     if (!n.alive) continue;
-    Slot& s = core.procs_[static_cast<size_t>(n.owner)].slots[n.other];
+    SlotTable::Entry& s = core.slots_.ensure(n.owner, n.other);
     if (n.is_leaf) {
       FG_CHECK(s.leaf == kNoVNode);
       s.leaf = h;
@@ -658,10 +805,11 @@ void StructuralCore::validate() const {
     const Proc& p = procs_[static_cast<size_t>(u)];
     FG_CHECK(p.alive == g_.is_alive(u));
     if (!p.alive) {
-      FG_CHECK(p.slots.empty());
+      FG_CHECK(slots_.count(u) == 0);
       continue;
     }
-    for (const auto& [other, slot] : p.slots) {
+    for (const SlotTable::Entry& slot : slots_.entries(u)) {
+      const NodeId other = slot.other;
       FG_CHECK_MSG(gprime_.has_edge(u, other), "slot without a G' edge");
       FG_CHECK_MSG(!g_.is_alive(other), "slot for an alive neighbor");
       FG_CHECK(slot.leaf != kNoVNode);  // helper implies leaf, leaf tracks dead edge
@@ -677,39 +825,39 @@ void StructuralCore::validate() const {
     }
     // Every dead G' neighbor must have a leaf slot.
     for (NodeId w : gprime_.neighbors(u))
-      if (!g_.is_alive(w)) FG_CHECK_MSG(p.slots.contains(w), "missing real node for dead edge");
+      if (!g_.is_alive(w))
+        FG_CHECK_MSG(slots_.find(u, w) != nullptr, "missing real node for dead edge");
   }
 
   // --- I2 + I3: forest structure, haft property, representative invariant.
-  std::unordered_set<VNodeId> seen_roots;
-  for (NodeId u = 0; u < static_cast<NodeId>(procs_.size()); ++u) {
-    for (const auto& [other, slot] : procs_[static_cast<size_t>(u)].slots) {
-      for (VNodeId h : {slot.leaf, slot.helper}) {
-        if (h == kNoVNode) continue;
-        VNodeId r = forest_.root_of(h);
-        if (!seen_roots.insert(r).second) continue;
-        FG_CHECK_MSG(forest_.valid_haft(r), "RT is not a haft");
-        // Representative invariant on every internal node of the RT.
-        for (VNodeId x : forest_.subtree_of(r)) {
-          const auto& n = forest_.node(x);
-          if (n.is_leaf) continue;
-          int free_leaves = 0;
-          VNodeId free_leaf = kNoVNode;
-          for (VNodeId leaf : forest_.leaves_of(x)) {
-            const auto& ln = forest_.node(leaf);
-            auto it = procs_[static_cast<size_t>(ln.owner)].slots.find(ln.other);
-            FG_CHECK(it != procs_[static_cast<size_t>(ln.owner)].slots.end());
-            VNodeId helper = it->second.helper;
-            bool has_helper_inside = helper != kNoVNode && forest_.is_ancestor(x, helper);
-            if (!has_helper_inside) {
-              ++free_leaves;
-              free_leaf = leaf;
-            }
-          }
-          FG_CHECK_MSG(free_leaves == 1, "representative invariant violated (count)");
-          FG_CHECK_MSG(free_leaf == n.rep, "representative invariant violated (identity)");
+  std::vector<VNodeId> seen_roots;
+  for (NodeId u = 0; u < static_cast<NodeId>(procs_.size()); ++u)
+    for (const SlotTable::Entry& slot : slots_.entries(u))
+      for (VNodeId h : {slot.leaf, slot.helper})
+        if (h != kNoVNode) seen_roots.push_back(forest_.root_of(h));
+  std::sort(seen_roots.begin(), seen_roots.end());
+  seen_roots.erase(std::unique(seen_roots.begin(), seen_roots.end()), seen_roots.end());
+  for (VNodeId r : seen_roots) {
+    FG_CHECK_MSG(forest_.valid_haft(r), "RT is not a haft");
+    // Representative invariant on every internal node of the RT.
+    for (VNodeId x : forest_.subtree_of(r)) {
+      const auto& n = forest_.node(x);
+      if (n.is_leaf) continue;
+      int free_leaves = 0;
+      VNodeId free_leaf = kNoVNode;
+      for (VNodeId leaf : forest_.leaves_of(x)) {
+        const auto& ln = forest_.node(leaf);
+        const SlotTable::Entry* slot = slots_.find(ln.owner, ln.other);
+        FG_CHECK(slot != nullptr);
+        VNodeId helper = slot->helper;
+        bool has_helper_inside = helper != kNoVNode && forest_.is_ancestor(x, helper);
+        if (!has_helper_inside) {
+          ++free_leaves;
+          free_leaf = leaf;
         }
       }
+      FG_CHECK_MSG(free_leaves == 1, "representative invariant violated (count)");
+      FG_CHECK_MSG(free_leaf == n.rep, "representative invariant violated (identity)");
     }
   }
 

@@ -61,13 +61,13 @@
 //       one edge per virtual tree edge whose endpoints have distinct owners.
 #pragma once
 
+#include <algorithm>
 #include <cstdint>
 #include <iosfwd>
 #include <span>
-#include <unordered_map>
-#include <unordered_set>
 #include <vector>
 
+#include "fg/core/slot_table.h"
 #include "fg/virtual_forest.h"
 #include "graph/graph.h"
 #include "haft/haft.h"
@@ -142,6 +142,13 @@ struct RegionPlan {
   /// Deterministic k-way ComputeHaft steps over `pieces` (piece numbering
   /// as in haft::merge_plan).
   std::vector<haft::MergeStep> steps;
+  /// G' edges between two victims of this region, (smaller, larger), in
+  /// victim wave order: the break drops their image multiplicity with no
+  /// surviving endpoint to spawn an anchor for. Precomputed at plan time so
+  /// the break never needs the wave-wide victim set — one region's break
+  /// reads nothing but its own plan (the parallel-break locality argument,
+  /// docs/CONCURRENCY.md).
+  std::vector<std::pair<NodeId, NodeId>> victim_edges;
   int red_teardowns = 0;           ///< Red (helper) nodes the break removes.
   double collect_ms = 0.0;         ///< Planner timings (informational only;
   double merge_ms = 0.0;           ///< never part of the plan's identity).
@@ -180,11 +187,29 @@ struct RepairPlan {
 /// Produced once per wave by analyze_deletion; plan_region then fills each
 /// RegionPlan independently (and, if the caller wishes, concurrently — it
 /// only ever reads the core and this analysis).
+/// Membership is flat, not hashed (PR 5's shedding argument; the `is_*`
+/// helpers below are the only lookup API): the small victim set is a
+/// sorted vector probed by binary search. The vnode sets — probed once
+/// per visited node on the collect walk's hot path — switch
+/// representation by density: when the wave's dirty set is a meaningful
+/// fraction of the arena, one O(arena) zeroed mark array buys O(1)
+/// probes; for a tiny wave in an old arena (where the memset would dwarf
+/// the handful of probes it serves) the sorted vectors are binary-searched
+/// instead.
 struct DeletionAnalysis {
   std::vector<NodeId> victims;              ///< Wave order.
-  std::unordered_set<NodeId> victim_set;
-  std::unordered_set<VNodeId> dead_vnodes;  ///< Victims' leaves and helpers.
-  std::unordered_set<VNodeId> dirty;        ///< Dead vnodes + ancestors.
+  std::vector<NodeId> victim_sorted;        ///< Victims, ascending.
+  std::vector<VNodeId> dead_vnodes;         ///< Victims' leaves and helpers, ascending.
+  std::vector<VNodeId> dirty;               ///< Dead vnodes + ancestors, ascending.
+  /// Dense marks over [0, arena), or empty when the wave is too sparse to
+  /// amortize the zeroing: kClean, kDirtyMark (a dead vnode's strict
+  /// ancestor — a red helper), or kDeadMark. dirty ⊇ dead, so one byte
+  /// answers both membership probes.
+  enum : uint8_t { kClean = 0, kDirtyMark = 1, kDeadMark = 2 };
+  std::vector<uint8_t> vnode_marks;
+  /// Seed index per victim, aligned with `victims` (finalize_plan derives
+  /// RepairPlan::victim_region from it without any lookup table).
+  std::vector<int> victim_seed;
   RegionSplit split = RegionSplit::kPerRegion;
   int deleted_degree_gprime = 0;
   /// Per region: victims in wave order, affected roots ascending. Regions
@@ -195,6 +220,18 @@ struct DeletionAnalysis {
     std::vector<VNodeId> roots;
   };
   std::vector<Seed> seeds;
+
+  bool is_victim(NodeId v) const {
+    return std::binary_search(victim_sorted.begin(), victim_sorted.end(), v);
+  }
+  bool is_dead_vnode(VNodeId h) const {
+    if (!vnode_marks.empty()) return vnode_marks[static_cast<size_t>(h)] == kDeadMark;
+    return std::binary_search(dead_vnodes.begin(), dead_vnodes.end(), h);
+  }
+  bool is_dirty(VNodeId h) const {
+    if (!vnode_marks.empty()) return vnode_marks[static_cast<size_t>(h)] != kClean;
+    return std::binary_search(dirty.begin(), dirty.end(), h);
+  }
 };
 
 /// Hooks a protocol layer installs to mirror structural mutations. The
@@ -277,9 +314,74 @@ class StructuralCore {
   /// against the plan's mutation epoch, so a stale plan refuses to
   /// commit. kReserved spawns each anchor leaf at its reserved handle;
   /// kOnDemand (the dist engine) appends as before.
+  ///
+  /// Equivalent to begin_break + break_region per region (immediate mode)
+  /// + finish_break — the sequential composition of the phase-parallel
+  /// primitives below, which fg::ShardedForest fans out instead.
   std::vector<std::vector<VNodeId>> commit_break(const RepairPlan& plan,
                                                  RepairObserver* observer = nullptr,
                                                  CommitAlloc alloc = CommitAlloc::kReserved);
+
+  /// The side effects of one region's break that touch state shared across
+  /// regions, recorded by break_region and applied by apply_break_effects
+  /// in region id order (the mirror of MergeEffects on the merge side).
+  struct BreakEffects {
+    /// One deferred slot-table write, in break-script order.
+    struct SlotOp {
+      NodeId owner = kInvalidNode;  ///< Slot's owning processor.
+      NodeId other = kInvalidNode;  ///< Slot key (far endpoint).
+      VNodeId h = kNoVNode;         ///< The vnode written into / out of it.
+      bool is_leaf = false;         ///< Which field of the slot.
+      bool attach = false;          ///< true: install h; false: clear h.
+    };
+    /// Image-multiplicity decrements in break order: each event teardown's
+    /// (owner, parent owner) pair, then each fresh leaf's (dead, owner)
+    /// G' edge, then the region's victim-victim edges.
+    std::vector<std::pair<NodeId, NodeId>> edge_drops;
+    std::vector<SlotOp> slot_ops;
+    int teardowns = 0;   ///< Forest removals to credit (dead + red nodes).
+    int new_leaves = 0;  ///< Anchor leaves spawned.
+    int affected_rts = 0;
+
+    void reset() {
+      edge_drops.clear();
+      slot_ops.clear();
+      teardowns = 0;
+      new_leaves = 0;
+      affected_rts = 0;
+    }
+  };
+
+  /// Validate and open the break: epoch + arena staleness checks, the one
+  /// arena growth (reserve_range, kReserved only), stats reset, per-victim
+  /// alive checks. Must precede any break_region call of the same plan.
+  void begin_break(const RepairPlan& plan, CommitAlloc alloc = CommitAlloc::kReserved);
+
+  /// Replay one region's break script. With `effects` non-null (requires a
+  /// begin_break'd reserved plan, no observer), mutates only region-local
+  /// state — unlinks and tombstones the region's own vnodes
+  /// (remove_uncounted) and constructs its anchor leaves at their reserved
+  /// handles — while every shared-state write (image multiplicities and
+  /// edges, slot-table entries, counters, forest live count) is recorded
+  /// into `effects` instead of applied, so disjoint regions may run this
+  /// concurrently (fg::ShardedForest's commit pool does). With `effects`
+  /// null the side effects apply immediately — the sequential path, which
+  /// also takes an observer and either CommitAlloc. Returns the region's
+  /// materialized pieces, aligned with RegionPlan::pieces.
+  std::vector<VNodeId> break_region(const RegionPlan& region, BreakEffects* effects,
+                                    RepairObserver* observer = nullptr,
+                                    CommitAlloc alloc = CommitAlloc::kReserved);
+
+  /// Fold one region's recorded break effects into the shared state:
+  /// multiplicity decrements (1 -> 0 transitions flip image edges in one
+  /// batched Graph::apply_edge_deltas pass), slot writes in script order,
+  /// counters, live-count credit. Single-threaded, called in region id
+  /// order — the deterministic stitch.
+  void apply_break_effects(const RegionPlan& region, const BreakEffects& effects);
+
+  /// Close the break: tombstone the victims (their slot tables are wiped
+  /// wholesale; every image edge must already be gone — FG_CHECKed).
+  void finish_break(const RepairPlan& plan);
 
   /// The side effects of one region's merge that touch state shared across
   /// regions, recorded by merge_region and applied by apply_merge_effects
@@ -375,13 +477,8 @@ class StructuralCore {
   void validate() const;
 
  private:
-  struct Slot {
-    VNodeId leaf = kNoVNode;
-    VNodeId helper = kNoVNode;
-  };
   struct Proc {
     bool alive = true;
-    std::unordered_map<NodeId, Slot> slots;  // keyed by the other endpoint
   };
 
   static uint64_t edge_key(NodeId u, NodeId v);
@@ -409,6 +506,10 @@ class StructuralCore {
   Graph g_;
   VirtualForest forest_;
   std::vector<Proc> procs_;
+  /// Per-processor slot tables (Table 1): pooled sorted flat arrays keyed
+  /// by the far endpoint — see slot_table.h for the storage model and the
+  /// concurrency contract the parallel commit relies on.
+  SlotTable slots_;
   /// Multiplicity of every healed-image edge (flat open addressing — an
   /// edge flip probes a contiguous cell array, no hash-node allocation).
   util::FlatCountMap image_multiplicity_;

@@ -8,6 +8,29 @@
 
 namespace fg::dist {
 
+namespace {
+
+/// Sorted-flat map probe for RegionDag::know (nullptr when absent).
+const int* know_find(const std::vector<std::pair<NodeId, int>>& know, NodeId u) {
+  auto it = std::lower_bound(
+      know.begin(), know.end(), u,
+      [](const std::pair<NodeId, int>& e, NodeId v) { return e.first < v; });
+  return (it != know.end() && it->first == u) ? &it->second : nullptr;
+}
+
+/// Sorted insert-or-update for RegionDag::know.
+void know_set(std::vector<std::pair<NodeId, int>>& know, NodeId u, int msg) {
+  auto it = std::lower_bound(
+      know.begin(), know.end(), u,
+      [](const std::pair<NodeId, int>& e, NodeId v) { return e.first < v; });
+  if (it != know.end() && it->first == u)
+    it->second = msg;
+  else
+    know.insert(it, {u, msg});
+}
+
+}  // namespace
+
 // Every structural mutation below happens inside core::StructuralCore — the
 // same code path the centralized engine executes, so in kGlobalPlan mode the
 // region partition, the piece order, the ComputeHaft plan, and therefore the
@@ -39,7 +62,7 @@ class DistForgivingGraph::DagRecorder final : public core::RepairObserver {
   void on_piece(VNodeId /*root*/, NodeId owner, NodeId parent_owner) override {
     int msg = -1;
     if (parent_owner != kInvalidNode && parent_owner != owner &&
-        !d_->deleting_.contains(parent_owner) && !d_->deleting_.contains(owner))
+        !d_->is_deleting(parent_owner) && !d_->is_deleting(owner))
       msg = d_->add_msg(parent_owner, owner, 2, {});  // "you are detached"
     FG_CHECK_MSG(!detach_msgs_.empty(), "piece reported outside a region");
     detach_msgs_.back().push_back(msg);
@@ -47,7 +70,7 @@ class DistForgivingGraph::DagRecorder final : public core::RepairObserver {
 
   void on_teardown(VNodeId /*h*/, NodeId owner, NodeId parent_owner) override {
     if (parent_owner != kInvalidNode && parent_owner != owner &&
-        !d_->deleting_.contains(owner) && !d_->deleting_.contains(parent_owner))
+        !d_->is_deleting(owner) && !d_->is_deleting(parent_owner))
       d_->add_msg(owner, parent_owner, 2, {});  // teardown notice to parent
   }
 
@@ -72,11 +95,15 @@ int DistForgivingGraph::add_msg(NodeId from, NodeId to, int words,
   return static_cast<int>(msgs_.size() - 1);
 }
 
+bool DistForgivingGraph::is_deleting(NodeId v) const {
+  return std::binary_search(deleting_.begin(), deleting_.end(), v);
+}
+
 std::vector<int> DistForgivingGraph::know_deps(const RegionDag& dag, NodeId u) const {
   if (u == dag.coordinator) return dag.report_msgs;
-  auto it = dag.know.find(u);
-  FG_CHECK_MSG(it != dag.know.end(), "processor acts before learning the plan");
-  return {it->second};
+  const int* msg = know_find(dag.know, u);
+  FG_CHECK_MSG(msg != nullptr, "processor acts before learning the plan");
+  return {*msg};
 }
 
 void DistForgivingGraph::dispatch_msg(int i) {
@@ -128,8 +155,8 @@ NodeId DistForgivingGraph::insert(std::span<const NodeId> neighbors) {
 
 void DistForgivingGraph::delete_batch(std::span<const NodeId> victims) {
   msgs_.clear();
-  deleting_.clear();
-  deleting_.insert(victims.begin(), victims.end());
+  deleting_.assign(victims.begin(), victims.end());
+  std::sort(deleting_.begin(), deleting_.end());
   net_.stats().reset();
   last_cost_ = RepairCost{};
 
@@ -225,21 +252,29 @@ void DistForgivingGraph::merge_global(RegionDag& dag, const core::RegionPlan& re
 
   // Reports: every participant sends its piece list straight to the
   // coordinator (8 words per piece + header). The coordinator's own pieces
-  // only gate its sends.
-  std::unordered_map<NodeId, std::vector<int>> detach_by_owner;
-  std::unordered_map<NodeId, int> count_by_owner;
+  // only gate its sends. Owners bucket into dense per-participant vectors
+  // via binary search — `participants` is sorted-unique by construction and
+  // every piece owner appears in it.
+  auto part_idx = [&](NodeId o) {
+    auto it = std::lower_bound(participants.begin(), participants.end(), o);
+    FG_CHECK(it != participants.end() && *it == o);
+    return static_cast<size_t>(it - participants.begin());
+  };
+  std::vector<std::vector<int>> detach_by_owner(participants.size());
+  std::vector<int> count_by_owner(participants.size(), 0);
   for (const PieceCtx& p : pieces) {
-    NodeId o = piece_owner(p);
+    size_t o = part_idx(piece_owner(p));
     ++count_by_owner[o];
     if (p.detach_msg >= 0) detach_by_owner[o].push_back(p.detach_msg);
   }
-  for (NodeId m : participants) {
+  for (size_t mi = 0; mi < participants.size(); ++mi) {
+    NodeId m = participants[mi];
     if (m == dag.coordinator) {
-      for (int d : detach_by_owner[m]) dag.report_msgs.push_back(d);
+      for (int d : detach_by_owner[mi]) dag.report_msgs.push_back(d);
       continue;
     }
-    int rep = add_msg(m, dag.coordinator, 8 * count_by_owner[m] + 1,
-                      detach_by_owner[m]);
+    int rep = add_msg(m, dag.coordinator, 8 * count_by_owner[mi] + 1,
+                      detach_by_owner[mi]);
     dag.report_msgs.push_back(rep);
   }
 
@@ -259,7 +294,7 @@ void DistForgivingGraph::merge_global(RegionDag& dag, const core::RegionPlan& re
       std::vector<int> deps = i == 0 ? dag.report_msgs : std::vector<int>{bcast[i]};
       bcast[c] = add_msg(participants[i], participants[c], bcast_words,
                          std::move(deps));
-      dag.know[participants[c]] = bcast[c];
+      know_set(dag.know, participants[c], bcast[c]);
     }
   }
 
@@ -274,11 +309,11 @@ void DistForgivingGraph::merge_global(RegionDag& dag, const core::RegionPlan& re
     NodeId lo = piece_owner(l);
     NodeId ro = piece_owner(r);
     NodeId u = core_.forest().node(core_.forest().node(l.root).rep).owner;
-    if (u != dag.coordinator && !dag.know.contains(u)) {
+    if (u != dag.coordinator && know_find(dag.know, u) == nullptr) {
       // The left root's owner forwards the relevant plan excerpt to the
       // representative that must act (it is a leaf owner, not necessarily a
       // participant).
-      dag.know[u] = add_msg(lo, u, 4, know_deps(dag, lo));
+      know_set(dag.know, u, add_msg(lo, u, 4, know_deps(dag, lo)));
     }
     std::vector<int> kd = know_deps(dag, u);
     if (u != lo) add_msg(u, lo, 2, kd);
@@ -303,13 +338,18 @@ void DistForgivingGraph::merge_stage_wise(RegionDag& dag, std::vector<PieceCtx> 
     return;
   }
 
-  std::unordered_map<NodeId, size_t> member_idx;
-  for (size_t i = 0; i < participants.size(); ++i) member_idx[participants[i]] = i;
+  // `participants` is sorted-unique and contains every piece owner, so a
+  // binary search replaces the old member-index hash map.
+  auto member_idx = [&](NodeId o) {
+    auto it = std::lower_bound(participants.begin(), participants.end(), o);
+    FG_CHECK(it != participants.end() && *it == o);
+    return static_cast<size_t>(it - participants.begin());
+  };
 
   std::vector<std::vector<PieceCtx>> lists(participants.size());
   std::vector<std::vector<int>> ready(participants.size());
   for (const PieceCtx& p : pieces) {
-    size_t i = member_idx.at(piece_owner(p));
+    size_t i = member_idx(piece_owner(p));
     lists[i].push_back(p);
     if (p.detach_msg >= 0) ready[i].push_back(p.detach_msg);
   }

@@ -58,8 +58,7 @@
 
 #include <cstdint>
 #include <span>
-#include <unordered_map>
-#include <unordered_set>
+#include <utility>
 #include <vector>
 
 #include "fg/core/structural_core.h"
@@ -193,7 +192,10 @@ class DistForgivingGraph {
   struct RegionDag {
     NodeId coordinator = kInvalidNode;
     std::vector<int> report_msgs;
-    std::unordered_map<NodeId, int> know;
+    /// Plan-knowledge event per participating processor: sorted flat pairs
+    /// keyed by processor id, binary-searched — no hash container anywhere
+    /// on the repair path (PR 5 idiom).
+    std::vector<std::pair<NodeId, int>> know;
   };
 
   /// The core observer that mirrors the repair's structural mutations into
@@ -211,6 +213,7 @@ class DistForgivingGraph {
 
   // --- DAG construction helpers (see dist_forgiving_graph.cpp).
   int add_msg(NodeId from, NodeId to, int words, std::vector<int> deps);
+  bool is_deleting(NodeId v) const;
   std::vector<int> know_deps(const RegionDag& dag, NodeId u) const;
   void merge_global(RegionDag& dag, const core::RegionPlan& region,
                     std::vector<PieceCtx> pieces,
@@ -235,7 +238,8 @@ class DistForgivingGraph {
   std::vector<DagMsg> msgs_;
   std::vector<int> unmet_;
   std::vector<std::vector<int>> dependents_;
-  std::unordered_set<NodeId> deleting_;       ///< Victims of the repair in flight.
+  /// Victims of the repair in flight: sorted per batch, binary-searched.
+  std::vector<NodeId> deleting_;
 };
 
 }  // namespace fg::dist

@@ -10,15 +10,14 @@ namespace fg {
 void ForgivingGraph::commit_delete_batch(const core::RepairPlan& plan) {
   // The core performs the whole structural repair as one atomic step (no
   // observer — there is no protocol layer to mirror the mutations into).
-  // The break phase runs single-threaded in region order; the merges draw
-  // every vnode from the plan's arena-id reservation, so the shard layer
-  // may fan disjoint regions out over its commit pool and still land on
-  // the byte-identical checkpoint at any worker count (contract C4,
+  // Both commit phases draw every vnode from the plan's arena-id
+  // reservation, so the shard layer may fan the break scripts *and* the
+  // region merges out over its pool and still land on the byte-identical
+  // checkpoint and certificate bytes at any worker count (contract C4,
   // docs/CONCURRENCY.md).
   harness::CertificateBuilder builder;
   if (cert_sink_ != nullptr) builder.begin_wave(core_, plan);
-  std::vector<std::vector<VNodeId>> pieces = core_.commit_break(plan);
-  std::vector<VNodeId> roots = shards_.commit(core_, plan, std::move(pieces));
+  std::vector<VNodeId> roots = shards_.execute(core_, plan);
   if (cert_sink_ != nullptr)
     cert_sink_->on_certificate(builder.end_wave(core_, plan, certified_waves_++,
                                                 roots, /*cost=*/nullptr));

@@ -75,10 +75,11 @@ class ForgivingGraph {
   }
 
   /// Commit phase only: apply a plan produced by plan_delete_batch with no
-  /// intervening mutation. The break phase runs in deterministic region
-  /// order; region merges fan out over the commit pool when
-  /// commit_workers > 1, drawing every vnode handle from the plan's
-  /// arena-id reservation so the result is schedule-independent (C4).
+  /// intervening mutation. Region break scripts fan out over the pool when
+  /// break_workers > 1 (deterministic BreakEffects stitch in region id
+  /// order), region merges when commit_workers > 1 — every vnode handle
+  /// comes from the plan's arena-id reservation, so the result is
+  /// schedule-independent (C4).
   void commit_delete_batch(const core::RepairPlan& plan);
 
   /// Worker threads for the plan phase (1 = plan inline). Any value
@@ -92,6 +93,14 @@ class ForgivingGraph {
   /// reservation fixes every handle at plan time).
   void set_commit_workers(int n) { shards_.set_commit_workers(n); }
   int commit_workers() const { return shards_.commit_workers(); }
+
+  /// Worker threads for the commit's break phase (1 = the core's
+  /// sequential break; n > 1 fans region break scripts out over the same
+  /// persistent pool). Any value replays byte-identical checkpoints and
+  /// certificate bytes (contract C4 — the BreakEffects stitch applies
+  /// every shared-state write in region id order).
+  void set_break_workers(int n) { shards_.set_break_workers(n); }
+  int break_workers() const { return shards_.break_workers(); }
 
   /// Per-region healing (default) vs the pre-sharding single wave-wide RT.
   void set_region_split(core::RegionSplit split) { split_ = split; }

@@ -37,6 +37,7 @@ HealerService::HealerService(const Graph& g0, HealerConfig config)
   FG_CHECK_MSG(config_.certify_every >= 0, "certify_every must be non-negative");
   fg_.set_shard_workers(config_.plan_workers);
   fg_.set_commit_workers(config_.commit_workers);
+  fg_.set_break_workers(config_.break_workers);
   if (config_.overlap) planner_.thread = std::thread([this] { planner_loop(); });
 }
 

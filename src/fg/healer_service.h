@@ -118,9 +118,11 @@ struct HealerConfig {
   /// Overlap planning of wave N+1 with the retirement of wave N on a
   /// persistent planner thread. Off: plan inline (the serial reference).
   bool overlap = true;
-  /// Forwarded to ForgivingGraph::set_shard_workers / set_commit_workers.
+  /// Forwarded to ForgivingGraph::set_shard_workers / set_commit_workers /
+  /// set_break_workers.
   int plan_workers = 1;
   int commit_workers = 1;
+  int break_workers = 1;
 };
 
 /// Service counters and per-wave latency record.

@@ -79,16 +79,30 @@ void ShardedForest::set_workers(int n) {
 
 void ShardedForest::set_commit_workers(int n) {
   FG_CHECK_MSG(n >= 1, "worker count must be at least 1");
-  if (n == commit_workers_) return;
   commit_workers_ = n;
-  // Don't build a pool the dispatch gate below can never use: on a box
-  // with a single hardware thread, merely having extra threads switches
-  // the allocator out of its single-threaded fast path and slows the
-  // (alloc-heavy) inline commit — with zero chance of a fan-out win.
-  // Contract C4 makes the structure identical either way.
+  rebuild_pool();
+}
+
+void ShardedForest::set_break_workers(int n) {
+  FG_CHECK_MSG(n >= 1, "worker count must be at least 1");
+  break_workers_ = n;
+  rebuild_pool();
+}
+
+void ShardedForest::rebuild_pool() {
+  // One pool serves both the break and the merge fan-out; size it for the
+  // larger knob. Don't build a pool the dispatch gates below can never
+  // use: on a box with a single hardware thread, merely having extra
+  // threads switches the allocator out of its single-threaded fast path
+  // and slows the (alloc-heavy) inline commit — with zero chance of a
+  // fan-out win. Contract C4 makes the structure identical either way.
   static const unsigned hw_threads = std::thread::hardware_concurrency();
-  commit_pool_ =
-      (n > 1 && hw_threads != 1) ? std::make_unique<CommitPool>(n - 1) : nullptr;
+  const int n = std::max(commit_workers_, break_workers_);
+  const int background = (n > 1 && hw_threads != 1) ? n - 1 : 0;
+  if (background == pool_background_ && (commit_pool_ != nullptr) == (background > 0))
+    return;
+  pool_background_ = background;
+  commit_pool_ = background > 0 ? std::make_unique<CommitPool>(background) : nullptr;
 }
 
 core::RepairPlan ShardedForest::plan(const core::StructuralCore& core,
@@ -124,6 +138,59 @@ core::RepairPlan ShardedForest::plan(const core::StructuralCore& core,
   plan.profile.partition_ms =
       std::chrono::duration<double, std::milli>(t1 - t0).count();
   return plan;
+}
+
+std::vector<VNodeId> ShardedForest::execute(core::StructuralCore& core,
+                                            const core::RepairPlan& plan) {
+  const int regions = static_cast<int>(plan.regions.size());
+  std::vector<std::vector<VNodeId>> pieces;
+  // Fanning break out is, like the merge fan-out below, a pure scheduling
+  // choice: break_region in recorded mode mutates only region-local forest
+  // state, and the BreakEffects stitch replays every shared-state write in
+  // region id order — the exact sequence the sequential path applies
+  // (contract C4; docs/CONCURRENCY.md, the break-effects argument).
+  if (!commit_pool_ || break_workers_ <= 1 || regions <= 1) {
+    pieces = core.commit_break(plan);
+  } else {
+    core.begin_break(plan);
+    pieces.resize(static_cast<size_t>(regions));
+    // Grow-only scratch, same pooling discipline as the merge side.
+    std::vector<core::StructuralCore::BreakEffects>& effects = break_effects_scratch_;
+    if (effects.size() < static_cast<size_t>(regions))
+      effects.resize(static_cast<size_t>(regions));
+    // Drain-a-counter fan-out over the shared pool (see commit below for
+    // the ownership and memory-ordering story — identical here: `broken`
+    // release/acquire pairs the workers' region-local writes with the
+    // stitch).
+    struct Ctx {
+      std::atomic<int> next{0};
+      std::atomic<int> broken{0};
+    };
+    auto ctx = std::make_shared<Ctx>();
+    core::StructuralCore* core_p = &core;
+    const core::RepairPlan* plan_p = &plan;
+    auto* pieces_p = &pieces;
+    auto* effects_p = &effects;
+    auto work = [ctx, core_p, plan_p, pieces_p, effects_p, regions] {
+      for (int r = ctx->next.fetch_add(1); r < regions; r = ctx->next.fetch_add(1)) {
+        (*pieces_p)[static_cast<size_t>(r)] = core_p->break_region(
+            plan_p->regions[static_cast<size_t>(r)], &(*effects_p)[static_cast<size_t>(r)]);
+        ctx->broken.fetch_add(1, std::memory_order_release);
+      }
+    };
+    commit_pool_->dispatch(work);
+    work();  // the caller participates too
+    while (ctx->broken.load(std::memory_order_acquire) < regions)
+      std::this_thread::yield();
+
+    // The deterministic stitch, then the victims die exactly as in the
+    // sequential break.
+    for (int r = 0; r < regions; ++r)
+      core.apply_break_effects(plan.regions[static_cast<size_t>(r)],
+                               effects[static_cast<size_t>(r)]);
+    core.finish_break(plan);
+  }
+  return commit(core, plan, std::move(pieces));
 }
 
 std::vector<VNodeId> ShardedForest::commit(core::StructuralCore& core,
@@ -205,20 +272,35 @@ std::vector<VNodeId> ShardedForest::commit(core::StructuralCore& core,
 void ShardedForest::note_commit(const core::RepairPlan& plan,
                                 std::span<const VNodeId> region_roots) {
   FG_CHECK(region_roots.size() == plan.regions.size());
+  auto lookup = [this](VNodeId root) {
+    return std::lower_bound(
+        region_of_root_.begin(), region_of_root_.end(), root,
+        [](const std::pair<VNodeId, int>& e, VNodeId r) { return e.first < r; });
+  };
   // RTs the wave broke up no longer exist; drop their stale assignments so
   // region_of_root never reports a region for a destroyed root.
   for (const core::RegionPlan& region : plan.regions)
-    for (VNodeId r : region.roots) region_of_root_.erase(r);
-  for (size_t i = 0; i < region_roots.size(); ++i)
-    if (region_roots[i] != kNoVNode)
-      region_of_root_[region_roots[i]] = plan.regions[i].id;
+    for (VNodeId r : region.roots) {
+      auto it = lookup(r);
+      if (it != region_of_root_.end() && it->first == r) region_of_root_.erase(it);
+    }
+  for (size_t i = 0; i < region_roots.size(); ++i) {
+    if (region_roots[i] == kNoVNode) continue;
+    auto it = lookup(region_roots[i]);
+    if (it != region_of_root_.end() && it->first == region_roots[i])
+      it->second = plan.regions[i].id;
+    else
+      region_of_root_.insert(it, {region_roots[i], plan.regions[i].id});
+  }
   last_assignment_ = plan.victim_region;
   last_region_roots_.assign(region_roots.begin(), region_roots.end());
 }
 
 int ShardedForest::region_of_root(VNodeId root) const {
-  auto it = region_of_root_.find(root);
-  return it == region_of_root_.end() ? -1 : it->second;
+  auto it = std::lower_bound(
+      region_of_root_.begin(), region_of_root_.end(), root,
+      [](const std::pair<VNodeId, int>& e, VNodeId r) { return e.first < r; });
+  return (it == region_of_root_.end() || it->first != root) ? -1 : it->second;
 }
 
 }  // namespace fg

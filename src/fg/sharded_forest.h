@@ -9,20 +9,27 @@
 // independently: their plans read disjoint parts of the structure and
 // their commits build disjoint RTs.
 //
-// ShardedForest exploits that locality on both sides of the pipeline:
+// ShardedForest exploits that locality across the whole pipeline:
 //
 //   * Plan: it partitions a wave (core::StructuralCore::analyze_deletion),
 //     then fans the read-only per-region planning out over per-wave worker
 //     threads (set_workers).
-//   * Commit: it fans the per-region merges out over a persistent commit
-//     pool (set_commit_workers). This is safe because the plan carries an
+//   * Break: it fans the per-region break scripts out over the persistent
+//     pool (set_break_workers, execute). Each region's break mutates only
+//     its own forest nodes and reserved arena handles; every shared-state
+//     write — image-edge drops, slot-table entries, counters, the forest
+//     live count — is recorded into a region-local
+//     core::StructuralCore::BreakEffects buffer and applied by a
+//     single-threaded stitch in region id order.
+//   * Commit: it fans the per-region merges out over the same pool
+//     (set_commit_workers). This is safe because the plan carries an
 //     *arena-id reservation*: every vnode handle the commit allocates is
 //     fixed at plan time by region order alone, so concurrent merges write
 //     disjoint, pre-grown parts of the arena, and the shared-state side
 //     effects (image edges, counters) are recorded per region and applied
 //     by a final single-threaded stitch in deterministic region order.
 //
-// Both fan-outs preserve the Healer contract C4, strengthened from
+// All three fan-outs preserve the Healer contract C4, strengthened from
 // "single-threaded commit" to "schedule-independent commit": the healed
 // structure — checkpoint bytes included — is a pure function of the input
 // partition, never of scheduling; the workers only decide *who* computes a
@@ -42,7 +49,7 @@
 #include <mutex>
 #include <span>
 #include <thread>
-#include <unordered_map>
+#include <utility>
 #include <vector>
 
 #include "fg/core/structural_core.h"
@@ -114,6 +121,21 @@ class ShardedForest {
   void set_commit_workers(int n);
   int commit_workers() const { return commit_workers_; }
 
+  /// Worker threads used to break disjoint regions concurrently during
+  /// commit (execute): 1 breaks inline via the core's sequential path;
+  /// n > 1 fans break_region out over the persistent pool and stitches
+  /// the recorded BreakEffects in region id order. Any value replays
+  /// byte-identical checkpoints and certificate bytes (contract C4).
+  void set_break_workers(int n);
+  int break_workers() const { return break_workers_; }
+
+  /// Execute a reserved plan end to end against `core`: the break phase
+  /// (fanned out over the pool when break workers > 1, sequential
+  /// otherwise), then the merge phase via commit(). Returns each region's
+  /// final RT root, aligned with plan.regions.
+  std::vector<VNodeId> execute(core::StructuralCore& core,
+                               const core::RepairPlan& plan);
+
   /// Plan a deletion wave against `core`: bit-identical to
   /// core.plan_deletion(victims, split) at every worker count.
   core::RepairPlan plan(const core::StructuralCore& core,
@@ -155,12 +177,21 @@ class ShardedForest {
   }
 
  private:
+  /// (Re)build the shared pool for max(commit, break) workers; both
+  /// setters funnel through here so one pool serves both fan-outs.
+  void rebuild_pool();
+
   int workers_ = 1;
   int commit_workers_ = 1;
+  int break_workers_ = 1;
+  int pool_background_ = 0;
   std::unique_ptr<CommitPool> commit_pool_;
   /// Per-region side-effect buffers, reused across waves (scratch pooling).
   std::vector<core::StructuralCore::MergeEffects> effects_scratch_;
-  std::unordered_map<VNodeId, int> region_of_root_;
+  std::vector<core::StructuralCore::BreakEffects> break_effects_scratch_;
+  /// Root -> region id of the wave that built it: sorted flat pairs,
+  /// binary-searched (no hash container on the commit path).
+  std::vector<std::pair<VNodeId, int>> region_of_root_;
   std::vector<int> last_assignment_;
   std::vector<VNodeId> last_region_roots_;
 };

@@ -114,12 +114,21 @@ void VirtualForest::unlink_from_parent(VNodeId child) {
 }
 
 void VirtualForest::remove(VNodeId h) {
+  remove_uncounted(h);
+  --live_count_;
+}
+
+void VirtualForest::remove_uncounted(VNodeId h) {
   FG_CHECK(exists(h));
   FG_CHECK_MSG(nodes_[h].left == kNoVNode && nodes_[h].right == kNoVNode,
                "remove requires children already detached");
   unlink_from_parent(h);
   nodes_[h].alive = false;
-  --live_count_;
+}
+
+void VirtualForest::credit_removals(int count) {
+  FG_CHECK_MSG(count >= 0 && count <= live_count_, "over-credited removals");
+  live_count_ -= count;
 }
 
 const VirtualForest::VNode& VirtualForest::node(VNodeId h) const {

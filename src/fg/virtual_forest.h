@@ -116,6 +116,16 @@ class VirtualForest {
   /// from its parent first.
   void remove(VNodeId h);
 
+  /// remove() without touching live_count(). A concurrent break region
+  /// tombstones its own red-teardown helpers with this and reports the
+  /// count through its BreakEffects buffer; the single-threaded stitch
+  /// settles the shared scalar via credit_removals — the same discipline
+  /// reserve_range uses on the allocation side (contract C4).
+  void remove_uncounted(VNodeId h);
+
+  /// Debit live_count() by `count` deferred remove_uncounted() calls.
+  void credit_removals(int count);
+
   const VNode& node(VNodeId h) const;
   bool exists(VNodeId h) const;
   VNodeId root_of(VNodeId h) const;

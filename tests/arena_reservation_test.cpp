@@ -47,8 +47,9 @@ TEST_P(ArenaReservation, CommitWorkerCountNeverChangesTheForest) {
   Rng rng(271);
   Graph g0 = make_erdos_renyi(160, 7.0 / 160, rng);
 
-  // One engine per worker count, driven through the identical schedule of
-  // deletion waves; workers = 1 is the reference.
+  // One engine per worker count — driving plan, break, AND merge fan-outs
+  // at that count — through the identical schedule of deletion waves;
+  // workers = 1 is the reference.
   const std::vector<int> worker_counts{1, 2, 4};
   std::vector<ForgivingGraph> engines;
   engines.reserve(worker_counts.size());
@@ -57,6 +58,7 @@ TEST_P(ArenaReservation, CommitWorkerCountNeverChangesTheForest) {
     engines.back().set_region_split(split);
     engines.back().set_shard_workers(workers);
     engines.back().set_commit_workers(workers);
+    engines.back().set_break_workers(workers);
   }
 
   for (int wave = 0; wave < 8; ++wave) {
@@ -200,6 +202,7 @@ TEST(ArenaReservation, CommitPoolPersistsAcrossWaves) {
   ForgivingGraph single(g0);
   ForgivingGraph pooled(g0);
   pooled.set_commit_workers(4);
+  pooled.set_break_workers(4);
   for (int wave = 0; wave < 6; ++wave) {
     auto alive = single.healed().alive_nodes();
     if (alive.size() <= 12) break;
@@ -211,6 +214,7 @@ TEST(ArenaReservation, CommitPoolPersistsAcrossWaves) {
   }
   // Shrinking the pool back to inline keeps working (and stays identical).
   pooled.set_commit_workers(1);
+  pooled.set_break_workers(1);
   auto alive = single.healed().alive_nodes();
   std::vector<NodeId> wave{alive[0], alive[alive.size() / 2]};
   single.delete_batch(wave);

@@ -68,8 +68,10 @@ struct ServiceRun {
 };
 
 ServiceRun run_service(const Graph& g0, const std::vector<ChurnOp>& ops,
-                       HealerConfig config) {
+                       HealerConfig config,
+                       core::RegionSplit split = core::RegionSplit::kPerRegion) {
   HealerService service(g0, config);
+  service.engine().set_region_split(split);
   std::ostringstream certs;
   service.set_certificate_stream(&certs);
   int64_t alerts = 0;
@@ -105,6 +107,7 @@ TEST_P(HealerServiceEquivalence, PipelinedMatchesSerialByteIdentically) {
   pipelined.overlap = true;
   pipelined.plan_workers = workers;
   pipelined.commit_workers = workers;
+  pipelined.break_workers = workers;
   ServiceRun overlapped = run_service(g0, ops, pipelined);
 
   // Byte-identical engine state AND certificate stream: the serving loop's
@@ -123,6 +126,40 @@ TEST_P(HealerServiceEquivalence, PipelinedMatchesSerialByteIdentically) {
 
 INSTANTIATE_TEST_SUITE_P(WorkerCounts, HealerServiceEquivalence,
                          ::testing::Values(1, 2, 4));
+
+TEST(HealerService, BreakWorkersBitIdenticalAcrossSplits) {
+  // The break fan-out through the full serving loop: break workers {1,2,4}
+  // × both RegionSplit modes must produce byte-identical checkpoints AND
+  // byte-identical sampled-certificate streams (C4 extended to the break
+  // phase). Each split heals a different structure, so each compares
+  // against its own break_workers=1 serial reference.
+  Rng rng(9002);
+  Graph g0 = make_sparse_random(300, 5.0, rng);
+  std::vector<ChurnOp> ops = make_stream(300, 1500, 0xBEEF);
+
+  for (core::RegionSplit split :
+       {core::RegionSplit::kPerRegion, core::RegionSplit::kGlobal}) {
+    HealerConfig serial;
+    serial.wave_size = 16;
+    serial.certify_every = 8;
+    serial.overlap = false;
+    ServiceRun reference = run_service(g0, ops, serial, split);
+    ASSERT_GT(reference.stats.certified_waves, 1);
+
+    for (int workers : {2, 4}) {
+      HealerConfig pipelined = serial;
+      pipelined.overlap = true;
+      pipelined.break_workers = workers;
+      pipelined.commit_workers = workers;
+      ServiceRun overlapped = run_service(g0, ops, pipelined, split);
+      EXPECT_EQ(reference.checkpoint, overlapped.checkpoint)
+          << "checkpoint diverged at break workers=" << workers;
+      EXPECT_EQ(reference.cert_bytes, overlapped.cert_bytes)
+          << "certificate stream diverged at break workers=" << workers;
+      EXPECT_EQ(overlapped.stats.stale_replans, 0);
+    }
+  }
+}
 
 // Fixed small substrate for the hand-written streams below.
 Graph make_test_substrate() {

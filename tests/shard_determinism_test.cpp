@@ -15,6 +15,7 @@
 #include "adversary/adversary.h"
 #include "fg/forgiving_graph.h"
 #include "graph/generators.h"
+#include "harness/certificate.h"
 #include "harness/trace.h"
 #include "heal/healer.h"
 #include "util/rng.h"
@@ -67,15 +68,18 @@ TEST_P(ShardDeterminism, ConcurrentReplayIsBitIdentical) {
   ASSERT_EQ(loaded.size(), t.size());
 
   // Replay on sharded-concurrent engines: every worker count must land on
-  // the byte-identical checkpoint — on the plan side (set_shard_workers)
-  // and on the commit side (set_commit_workers), whose arena-id
-  // reservation is what makes concurrent region merges schedule-
-  // independent (contract C4, docs/CONCURRENCY.md). The replay also
-  // re-checks every wave's recorded region assignment (trace `r` lines).
+  // the byte-identical checkpoint — on the plan side (set_shard_workers),
+  // on the break side (set_break_workers, whose BreakEffects stitch
+  // serializes every shared-state write in region id order), and on the
+  // commit side (set_commit_workers), whose arena-id reservation is what
+  // makes concurrent region merges schedule-independent (contract C4,
+  // docs/CONCURRENCY.md). The replay also re-checks every wave's recorded
+  // region assignment (trace `r` lines).
   for (int workers : {1, 2, 4, 8}) {
     ForgivingGraphHealer replayed(g0);
     replayed.engine().set_shard_workers(workers);
     replayed.engine().set_commit_workers(workers);
+    replayed.engine().set_break_workers(workers);
     loaded.replay(replayed);
     ASSERT_EQ(reference, checkpoint(replayed.engine()))
         << c.graph << "/" << c.adversary << " diverged with workers=" << workers;
@@ -103,6 +107,47 @@ INSTANTIATE_TEST_SUITE_P(
       return std::string(c.graph) + "_" + adv + "_s" + std::to_string(c.seed);
     });
 
+TEST(ShardDeterminism, BreakWorkersBitIdenticalAcrossSplits) {
+  // The acceptance matrix of the parallel break: break workers {1,2,4} ×
+  // commit workers {1,2,4} × both RegionSplit modes must land on the
+  // byte-identical checkpoint AND emit byte-identical certificates (C4
+  // extended to the break fan-out). Each split mode heals a different
+  // structure, so each compares against its own w=1/w=1 reference.
+  Rng rng(55);
+  Graph g0 = make_erdos_renyi(140, 7.0 / 140, rng);
+  const std::vector<std::vector<NodeId>> waves = {
+      {4, 41, 77, 110}, {9, 52, 96}, {15, 16, 60, 121, 133}};
+
+  for (core::RegionSplit split :
+       {core::RegionSplit::kPerRegion, core::RegionSplit::kGlobal}) {
+    std::string ref_checkpoint;
+    std::string ref_certs;
+    for (int bw : {1, 2, 4}) {
+      for (int cw : {1, 2, 4}) {
+        ForgivingGraph fg(g0);
+        fg.set_region_split(split);
+        fg.set_break_workers(bw);
+        fg.set_commit_workers(cw);
+        std::ostringstream certs;
+        harness::CertificateWriter writer(certs);
+        fg.set_certificate_sink(&writer);
+        for (const auto& wave : waves) fg.delete_batch(wave);
+        fg.validate();
+        if (bw == 1 && cw == 1) {
+          ref_checkpoint = checkpoint(fg);
+          ref_certs = certs.str();
+          ASSERT_FALSE(ref_certs.empty());
+        } else {
+          EXPECT_EQ(ref_checkpoint, checkpoint(fg))
+              << "checkpoint diverged at break=" << bw << " commit=" << cw;
+          EXPECT_EQ(ref_certs, certs.str())
+              << "certificate bytes diverged at break=" << bw << " commit=" << cw;
+        }
+      }
+    }
+  }
+}
+
 TEST(ShardDeterminism, MixedScheduleWithInsertions) {
   // Hand-built schedule interleaving insertions, single deletions, and
   // batch waves — the action mix record_run can produce from any source.
@@ -112,6 +157,7 @@ TEST(ShardDeterminism, MixedScheduleWithInsertions) {
   ForgivingGraph sharded(g0);
   sharded.set_shard_workers(4);
   sharded.set_commit_workers(4);
+  sharded.set_break_workers(4);
 
   auto both_insert = [&](std::vector<NodeId> nbrs) {
     NodeId a = single.insert(nbrs);
