@@ -25,6 +25,12 @@
    (HealerService, ChurnOp, certify_every, ...) must appear both in
    docs/API.md and as code tokens in src/fg/healer_service.h, and
    docs/DESIGN.md must keep its "Healer service" section.
+5b. The self-stabilization surface stays in sync: the audit/recovery
+   names (Stabilizer, AuditReport, ViolationKind, ...) must appear both
+   in docs/API.md and as code tokens in src/fg/stabilizer.h,
+   docs/SELF_STABILIZATION.md must exist and name every violation-kind
+   string the auditor can report, and docs/DESIGN.md must keep its
+   "Self-stabilizing recovery" section.
 6. The certificate subsystem keeps its independence guarantee
    (docs/CERTIFICATES.md): src/cert sources never include engine headers
    (fg/, harness/, heal/, net/, adversary/), the fgcheck link line in
@@ -273,6 +279,10 @@ HEALER_API_NAMES = (
     "stale_replans",
     "cert_rejections",
     "latency_percentile",
+    "audit_every",
+    "audits",
+    "audit_violations",
+    "recoveries",
 )
 
 
@@ -306,6 +316,78 @@ def check_healer_service_sync():
     return problems
 
 
+# The self-stabilization gate: the audit/recovery surface documented in
+# docs/API.md must exist as code tokens in src/fg/stabilizer.h, the
+# dedicated doc must exist and cover every violation-kind string the
+# auditor can report (its rules table mirrors the ViolationKind enum),
+# and docs/DESIGN.md must keep its recovery section.
+STABILIZER_HEADER = "src/fg/stabilizer.h"
+STABILIZER_API_NAMES = (
+    "Stabilizer",
+    "AuditReport",
+    "AuditViolation",
+    "ViolationKind",
+    "RecoveryStats",
+    "violation_kind_name",
+    "audit",
+    "stabilize",
+    "clean",
+    "summary",
+)
+VIOLATION_KIND_NAMES = (
+    "row-link", "row-aggregate", "row-ownership", "row-slot-backing",
+    "rep-invariant", "helper-ancestry", "slot-ghost", "slot-edge",
+    "missing-anchor", "split-dead-cluster", "image-drift",
+    "multiplicity-drift",
+)
+
+
+def check_stabilizer_sync():
+    problems = []
+    header = REPO / STABILIZER_HEADER
+    doc = REPO / "docs" / "SELF_STABILIZATION.md"
+    api_md = (REPO / "docs" / "API.md").read_text()
+    design_md = (REPO / "docs" / "DESIGN.md").read_text()
+    if not header.exists():
+        return [f"{STABILIZER_HEADER}: missing, but the docs document its API"]
+    if not doc.exists():
+        return ["docs/SELF_STABILIZATION.md: missing (the recovery-mode doc "
+                "is required)"]
+    code = header_code(header)
+    for name in STABILIZER_API_NAMES:
+        if not re.search(r"\b" + re.escape(name) + r"\b", code):
+            problems.append(
+                f"{STABILIZER_HEADER}: documented stabilizer API name "
+                f"`{name}` does not appear in its code — update docs/API.md "
+                "or the header")
+        if name not in api_md:
+            problems.append(
+                f"docs/API.md: stabilizer API name `{name}` is undocumented "
+                "— the Stabilizer section must cover the audit/recovery "
+                "surface")
+    doc_text = doc.read_text()
+    stabilizer_cpp = (REPO / "src" / "fg" / "stabilizer.cpp").read_text()
+    for kind in VIOLATION_KIND_NAMES:
+        if f'"{kind}"' not in stabilizer_cpp:
+            problems.append(
+                f"src/fg/stabilizer.cpp: violation kind string \"{kind}\" "
+                "not found — the doc's rules table and the enum drifted")
+        if f"`{kind}`" not in doc_text:
+            problems.append(
+                f"docs/SELF_STABILIZATION.md: violation kind `{kind}` is "
+                "undocumented — the auditor rules table must mirror "
+                "ViolationKind")
+    if "## Self-stabilizing recovery" not in design_md:
+        problems.append(
+            "docs/DESIGN.md: missing the 'Self-stabilizing recovery' section "
+            "(audit rules, quarantine closure, pipeline-reusing recovery)")
+    if "audit_every" not in doc_text:
+        problems.append(
+            "docs/SELF_STABILIZATION.md: must describe the serving-loop "
+            "wiring (HealerConfig::audit_every)")
+    return problems
+
+
 # The certificate independence gate. The whole value of tools/fgcheck is
 # that it cannot share a defect with the engines it audits; that property
 # lives in two places the compiler does not enforce: the src/cert include
@@ -318,7 +400,8 @@ CERT_API_NAMES = {
     "src/cert/certificate.h": (
         "WaveCertificate", "RegionCert", "RtNode", "DegreeClaim",
         "StretchWitness", "EdgeFact", "CostClaim", "CheckResult",
-        "StreamResult", "check_stream", "structural_text", "kDegreeConstant",
+        "StreamResult", "malformed", "check_stream", "structural_text",
+        "kDegreeConstant",
     ),
     "src/harness/certificate.h": (
         "CertificateSink", "CertificateWriter", "CertificateCollector",
@@ -384,7 +467,7 @@ def check_certificate_independence():
 def main():
     problems = (check_links() + check_snippet_sync() + check_concurrency_sync() +
                 check_graph_api_sync() + check_healer_service_sync() +
-                check_certificate_independence())
+                check_stabilizer_sync() + check_certificate_independence())
     for p in problems:
         print(p, file=sys.stderr)
     if problems:
@@ -393,8 +476,9 @@ def main():
           "links resolve, example snippets in sync, CONCURRENCY.md API names "
           "and C4 wording match the headers, Graph view API in sync (no "
           "unordered_set in the surface), healer-service API in sync, "
-          "certificate checker independent (includes + fgcheck link line) "
-          "and its API/version in sync")
+          "stabilizer API and violation kinds in sync, certificate checker "
+          "independent (includes + fgcheck link line) and its API/version "
+          "in sync")
 
 
 if __name__ == "__main__":

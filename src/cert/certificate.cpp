@@ -775,10 +775,13 @@ StreamResult check_stream(std::istream& is) {
     bool eof = false;
     CheckResult parsed = parse(is, &c, &eof);
     if (eof) break;
-    if (!parsed.ok) return StreamResult{false, out.waves_checked, parsed.diagnostic};
+    if (!parsed.ok)
+      return StreamResult{false, out.waves_checked, parsed.diagnostic,
+                          /*malformed=*/true};
     CheckResult checked = check(c);
     if (!checked.ok)
-      return StreamResult{false, out.waves_checked, checked.diagnostic};
+      return StreamResult{false, out.waves_checked, checked.diagnostic,
+                          /*malformed=*/false};
     ++out.waves_checked;
   }
   return out;

@@ -192,10 +192,14 @@ CheckResult check(const WaveCertificate& c);
 
 /// Parse + check a whole stream of certificates; stops at the first
 /// violation. `waves_checked` counts the certificates that passed.
+/// `malformed` discriminates the two failure classes: true when the stream
+/// itself could not be parsed (tools/fgcheck exits 2), false when a
+/// well-formed certificate failed a checker rule (fgcheck exits 1).
 struct StreamResult {
   bool ok = true;
   int waves_checked = 0;
   std::string diagnostic;
+  bool malformed = false;
 };
 StreamResult check_stream(std::istream& is);
 

@@ -374,7 +374,13 @@ void StructuralCore::begin_break(const RepairPlan& plan, CommitAlloc alloc) {
   last_repair_ = RepairStats{};
   last_repair_.regions = static_cast<int>(plan.regions.size());
   for (NodeId v : plan.victims) {
-    FG_CHECK_MSG(g_.is_alive(v), "committing a stale plan: victim already dead");
+    // A recovery wave re-anchors processors that are already dead; a
+    // deletion wave kills live ones. Either way, a liveness flip since
+    // planning means the plan is stale.
+    if (plan.recovery)
+      FG_CHECK_MSG(!g_.is_alive(v), "recovery plan names a live processor");
+    else
+      FG_CHECK_MSG(g_.is_alive(v), "committing a stale plan: victim already dead");
     last_repair_.deleted_degree_gprime += gprime_.degree(v);
   }
 }
@@ -451,14 +457,19 @@ std::vector<VNodeId> StructuralCore::break_region(const RegionPlan& region,
   int fresh_at = region.arena_base;
   for (const RegionPlan::FreshLeaf& f : region.fresh) {
     VNodeId leaf;
+    // In a deletion wave f.dead is a victim still alive at this point, so
+    // its image edge to the surviving owner drops here. In a recovery wave
+    // (RepairPlan::recovery) f.dead died long ago and the edge is already
+    // gone — the anchor simply re-materializes.
     if (effects) {
-      effects->edge_drops.push_back({f.dead, f.owner});
+      if (g_.is_alive(f.dead)) effects->edge_drops.push_back({f.dead, f.owner});
       leaf = fresh_at++;
       forest_.make_leaf_in(leaf, f.owner, f.dead);
       effects->slot_ops.push_back({f.owner, f.dead, leaf, true, true});
       ++effects->new_leaves;
     } else {
-      if (image_multiplicity_.decrement(edge_key(f.dead, f.owner)) == 0)
+      if (g_.is_alive(f.dead) &&
+          image_multiplicity_.decrement(edge_key(f.dead, f.owner)) == 0)
         delta_scratch_.push_back({f.dead, f.owner, EdgeDelta::Op::kRemove});
       if (alloc == CommitAlloc::kReserved) {
         leaf = fresh_at++;
@@ -537,6 +548,8 @@ void StructuralCore::apply_break_effects(const RegionPlan& region,
 }
 
 void StructuralCore::finish_break(const RepairPlan& plan) {
+  // Recovery victims are already dead — there is nothing to kill.
+  if (plan.recovery) return;
   // The processors themselves die. All of their image edges must be gone.
   for (NodeId v : plan.victims) {
     procs_[static_cast<size_t>(v)].alive = false;
@@ -797,6 +810,98 @@ StructuralCore StructuralCore::load(std::istream& is) {
     if (n.parent != kNoVNode) core.add_image_edge(n.owner, nodes[static_cast<size_t>(n.parent)].owner);
   }
   return core;
+}
+
+void StructuralCore::rebuild_for_recovery(const std::vector<uint8_t>& keep) {
+  ++epoch_;  // corrupted-state surgery stales any outstanding plan
+  const NodeId capacity = gprime_.node_capacity();
+
+  // 1. Forest: tombstone everything outside the kept set. Kept rows must be
+  //    alive and closed under links — the stabilizer's condemnation closure
+  //    keeps whole components or nothing.
+  std::vector<VirtualForest::VNode> rows = forest_.dump();
+  FG_CHECK_MSG(keep.size() == rows.size(), "keep mask must cover the arena");
+  for (size_t h = 0; h < rows.size(); ++h) {
+    if (keep[h]) {
+      FG_CHECK_MSG(rows[h].alive, "cannot keep a tombstoned forest row");
+      for (VNodeId l : {rows[h].parent, rows[h].left, rows[h].right})
+        FG_CHECK_MSG(l == kNoVNode ||
+                         (l >= 0 && static_cast<size_t>(l) < rows.size() &&
+                          keep[static_cast<size_t>(l)] != 0),
+                     "kept forest row links outside the kept set");
+      continue;
+    }
+    rows[h].alive = false;
+    rows[h].parent = rows[h].left = rows[h].right = kNoVNode;
+  }
+  forest_ = VirtualForest::from_dump(std::move(rows));
+
+  // 2. Slot table from scratch: exactly the kept rows' registrations.
+  slots_ = SlotTable{};
+  slots_.resize(static_cast<size_t>(capacity));
+
+  // 3. Healed image from ground truth: alive-alive G' edges plus the kept
+  //    parent links, with multiplicities recounted (same rebuild as load()).
+  g_ = Graph{};
+  for (NodeId v = 0; v < capacity; ++v) g_.add_node();
+  for (NodeId v = 0; v < capacity; ++v)
+    if (!procs_[static_cast<size_t>(v)].alive) g_.remove_node(v);
+  image_multiplicity_ = util::FlatCountMap{};
+  image_multiplicity_.reserve(static_cast<size_t>(gprime_.edge_count()));
+  for (NodeId v = 0; v < capacity; ++v) {
+    if (!procs_[static_cast<size_t>(v)].alive) continue;
+    for (NodeId w : gprime_.neighbors(v))
+      if (v < w && procs_[static_cast<size_t>(w)].alive) add_image_edge(v, w);
+  }
+  const auto& nodes = forest_.dump();
+  for (VNodeId h = 0; h < static_cast<VNodeId>(nodes.size()); ++h) {
+    const auto& n = nodes[static_cast<size_t>(h)];
+    if (!n.alive) continue;
+    SlotTable::Entry& s = slots_.ensure(n.owner, n.other);
+    if (n.is_leaf) {
+      FG_CHECK_MSG(s.leaf == kNoVNode, "kept rows double-book a slot leaf");
+      s.leaf = h;
+    } else {
+      FG_CHECK_MSG(s.helper == kNoVNode, "kept rows double-book a slot helper");
+      s.helper = h;
+    }
+    if (n.parent != kNoVNode)
+      add_image_edge(n.owner, nodes[static_cast<size_t>(n.parent)].owner);
+  }
+}
+
+void StructuralCore::inject_vnode_row(VNodeId h, const VirtualForest::VNode& row) {
+  ++epoch_;
+  std::vector<VirtualForest::VNode> rows = forest_.dump();
+  FG_CHECK(h >= 0 && static_cast<size_t>(h) < rows.size());
+  rows[static_cast<size_t>(h)] = row;
+  forest_ = VirtualForest::from_dump(std::move(rows));
+}
+
+void StructuralCore::inject_slot(NodeId owner, NodeId other, VNodeId leaf,
+                                 VNodeId helper) {
+  ++epoch_;
+  SlotTable::Entry& s = slots_.ensure(owner, other);
+  s.leaf = leaf;
+  s.helper = helper;
+}
+
+void StructuralCore::inject_erase_slot(NodeId owner, NodeId other) {
+  ++epoch_;
+  if (slots_.find(owner, other) != nullptr) slots_.erase(owner, other);
+}
+
+void StructuralCore::inject_image_edge_flip(NodeId u, NodeId v) {
+  ++epoch_;
+  if (g_.has_edge(u, v))
+    g_.remove_edge(u, v);
+  else
+    g_.add_edge(u, v);
+}
+
+void StructuralCore::inject_multiplicity_bump(NodeId u, NodeId v) {
+  ++epoch_;
+  image_multiplicity_.increment(edge_key(u, v));
 }
 
 void StructuralCore::validate() const {

@@ -173,6 +173,12 @@ struct RepairPlan {
   /// the arena size unchanged, like a teardown-only repair — makes the
   /// plan refuse to commit instead of replaying a stale script.
   uint64_t epoch = 0;
+  /// Recovery plans (fg::Stabilizer) rebuild structure for processors that
+  /// are *already dead*: begin_break inverts the per-victim liveness check,
+  /// the break spawns anchors without dropping (long-gone) image edges, and
+  /// finish_break skips the re-kill. Everything else — regions, arena
+  /// reservation, merge steps, contract C4 — is the ordinary pipeline.
+  bool recovery = false;
   /// Planner phase timings (milliseconds), for bench/repair_path.cpp:
   /// region partitioning, dirty-region piece collection, merge-step
   /// computation. Informational only — never part of the plan's identity.
@@ -450,6 +456,51 @@ class StructuralCore {
 
   const Graph& image() const { return g_; }
   const Graph& gprime() const { return gprime_; }
+
+  // --- Audit surface (fg::Stabilizer; read-only). ------------------------
+
+  /// The per-processor slot tables, read-only — the auditor cross-checks
+  /// every slot entry against the forest rows and vice versa.
+  const SlotTable& slot_table() const { return slots_; }
+
+  /// The healed image's edge-multiplicity map, read-only — the auditor
+  /// recomputes expected multiplicities and compares.
+  const util::FlatCountMap& image_multiplicity() const { return image_multiplicity_; }
+
+  // --- Recovery surface (fg::Stabilizer). --------------------------------
+
+  /// Quarantine for self-stabilizing recovery: keep exactly the forest rows
+  /// with keep[h] != 0 (each must be alive, and kept rows' links must stay
+  /// within the kept set — FG_CHECKed), tombstone and unlink everything
+  /// else, then rebuild all derived state from ground truth: the slot table
+  /// from the kept rows, and the healed image (edges + multiplicities) from
+  /// alive-alive G' edges plus kept parent links. Bumps the mutation epoch;
+  /// the caller then plans and commits a recovery wave (RepairPlan::recovery)
+  /// to re-anchor every dead edge the quarantine left uncovered.
+  void rebuild_for_recovery(const std::vector<uint8_t>& keep);
+
+  // --- Fault-injection seams (tests/fuzz/corruptor; never the engines). ---
+  //
+  // Each seam overwrites one piece of state the invariants I1-I5 protect,
+  // bypassing every FG_CHECK the normal mutation path would trip, and bumps
+  // the mutation epoch (corrupted state must stale any outstanding plan).
+
+  /// Overwrite forest row `h` wholesale (links, flags, aggregates, rep).
+  void inject_vnode_row(VNodeId h, const VirtualForest::VNode& row);
+
+  /// Create or overwrite the slot entry (owner, other) with the given
+  /// leaf/helper handles (kNoVNode clears a field).
+  void inject_slot(NodeId owner, NodeId other, VNodeId leaf, VNodeId helper);
+
+  /// Erase the slot entry (owner, other) if present.
+  void inject_erase_slot(NodeId owner, NodeId other);
+
+  /// Toggle the healed-image edge (u, v) in G without touching the
+  /// multiplicity map (both endpoints must be alive).
+  void inject_image_edge_flip(NodeId u, NodeId v);
+
+  /// Bump the image multiplicity of (u, v) by one, desyncing it from G.
+  void inject_multiplicity_bump(NodeId u, NodeId v);
 
   /// Monotone counter bumped by every structural mutation (insert_node,
   /// commit_break). Plans are stamped with it and refuse to commit if it

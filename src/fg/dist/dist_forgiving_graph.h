@@ -163,6 +163,11 @@ class DistForgivingGraph {
   /// Full invariant check I1-I5 through the shared core (expensive).
   void validate() const { core_.validate(); }
 
+  /// The structural core, read-only — the fg::Stabilizer audit surface and
+  /// the checkpoint seam (core().save()) the fault tests hand to the
+  /// centralized engine for recovery experiments.
+  const core::StructuralCore& core() const { return core_; }
+
  private:
   /// One protocol message in the repair's dependency DAG. A message is sent
   /// once every message it depends on has been delivered; messages with

@@ -109,6 +109,16 @@ class ForgivingGraph {
   /// Shard bookkeeping: region ids of the last wave, region of a root.
   const ShardedForest& shards() const { return shards_; }
 
+  /// The structural core, read-only — the audit surface fg::Stabilizer
+  /// scans (slot tables, forest rows, image multiplicities).
+  const core::StructuralCore& core() const { return core_; }
+
+  /// Mutable core access for the recovery path (fg::Stabilizer's
+  /// quarantine/rebuild) and for fault injection in tests (tests/fuzz).
+  /// Engine code never goes through this — every normal mutation uses the
+  /// insert/delete pipeline above.
+  core::StructuralCore& core() { return core_; }
+
   /// Install a certificate sink: every subsequent committed deletion wave
   /// emits a per-wave cert::WaveCertificate through it (harness/
   /// certificate.h; docs/CERTIFICATES.md). nullptr disables emission. The

@@ -5,6 +5,7 @@
 #include <ostream>
 #include <utility>
 
+#include "fg/stabilizer.h"
 #include "util/check.h"
 
 namespace fg {
@@ -35,6 +36,7 @@ HealerService::HealerService(const Graph& g0, HealerConfig config)
     : fg_(g0), config_(config) {
   FG_CHECK_MSG(config_.wave_size >= 1, "wave_size must be at least 1");
   FG_CHECK_MSG(config_.certify_every >= 0, "certify_every must be non-negative");
+  FG_CHECK_MSG(config_.audit_every >= 0, "audit_every must be non-negative");
   fg_.set_shard_workers(config_.plan_workers);
   fg_.set_commit_workers(config_.commit_workers);
   fg_.set_break_workers(config_.break_workers);
@@ -208,6 +210,37 @@ void HealerService::admit_and_commit(std::vector<NodeId> victims,
     pending_cert_wave_ = wave;
     collector_.certs.clear();
     ++stats_.certified_waves;
+  }
+
+  // Self-stabilization guardrail (config_.audit_every): a sampled
+  // post-commit audit against I1-I5. On any violation, alert with the
+  // report summary and stabilize immediately — the recovery wave's
+  // certificate goes through the same save/check path as a sampled
+  // deletion wave, but inline: recovery is an emergency, not a steady
+  // state, so its check never defers. Runs with no plan in flight, which
+  // is what lets stabilize() mutate the engine (same rule as the
+  // admission hook above).
+  if (config_.audit_every > 0 && wave % config_.audit_every == 0) {
+    ++stats_.audits;
+    Stabilizer stabilizer(fg_);
+    AuditReport report = stabilizer.audit();
+    if (!report.clean()) {
+      stats_.audit_violations += report.total;
+      if (alert_) alert_(wave, "audit: " + report.summary());
+      collector_.certs.clear();
+      fg_.set_certificate_sink(&collector_);
+      RecoveryStats recovery = stabilizer.stabilize();
+      fg_.set_certificate_sink(nullptr);
+      FG_CHECK(recovery.recovered && collector_.certs.size() == 1);
+      ++stats_.recoveries;
+      if (cert_stream_ != nullptr) collector_.certs.front().save(*cert_stream_);
+      cert::CheckResult res = cert::check(collector_.certs.front());
+      collector_.certs.clear();
+      if (!res.ok) {
+        ++stats_.cert_rejections;
+        if (alert_) alert_(wave, res.diagnostic);
+      }
+    }
   }
   stats_.deletes += static_cast<int64_t>(victims.size());
   ++stats_.waves;

@@ -123,6 +123,13 @@ struct HealerConfig {
   int plan_workers = 1;
   int commit_workers = 1;
   int break_workers = 1;
+  /// Self-stabilization guardrail sampling period: every k-th wave (wave
+  /// indices 0, k, 2k, ...) the service audits the engine against I1-I5
+  /// after the commit (fg::Stabilizer). A dirty audit raises the alert
+  /// callback with the report summary, then stabilizes in place — the
+  /// recovery wave is certified and checked through the same guardrail
+  /// path as a sampled deletion wave. 0 disables (no audit cost).
+  int audit_every = 0;
 };
 
 /// Service counters and per-wave latency record.
@@ -135,6 +142,9 @@ struct HealerStats {
   int64_t stale_replans = 0;    ///< Plans the epoch gate rejected and re-planned.
   int64_t certified_waves = 0;  ///< Waves the guardrail sampled.
   int64_t cert_rejections = 0;  ///< Sampled certificates the checker rejected.
+  int64_t audits = 0;           ///< Audit-guardrail passes run (audit_every).
+  int64_t audit_violations = 0; ///< Total violations those audits reported.
+  int64_t recoveries = 0;       ///< Stabilize passes that rebuilt state.
 
   /// Per-wave repair latency (milliseconds) as the service loop saw it:
   /// planner stall + admission (re-plan included) + commit. With overlap,

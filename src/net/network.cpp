@@ -23,16 +23,35 @@ void NetStats::reset() {
 
 void Network::set_policy(const DeliveryPolicy& policy) {
   FG_CHECK(policy.max_extra_delay >= 0);
+  FG_CHECK(policy.drop_one_in >= 0);
+  FG_CHECK(policy.dup_one_in >= 0);
   policy_ = policy;
   rng_ = Rng(policy.seed);
 }
 
 void Network::enqueue(NodeId from, NodeId to, std::any payload, int words) {
-  int delay = 1;
-  if (policy_.max_extra_delay > 0)
-    delay += static_cast<int>(rng_.next_below(
-        static_cast<uint64_t>(policy_.max_extra_delay) + 1));
-  queue_.push_back(Pending{from, to, std::move(payload), words, delay});
+  // Fault knobs bite real messages only (words >= 1); uncounted local
+  // events always arrive exactly once. The drop decision comes before any
+  // delay draw, so enabling delays does not reshuffle which messages an
+  // identically-seeded policy drops.
+  const bool on_wire = words >= 1;
+  if (on_wire && policy_.drop_one_in > 0 &&
+      rng_.next_below(static_cast<uint64_t>(policy_.drop_one_in)) == 0)
+    return;
+  int copies = 1;
+  if (on_wire && policy_.dup_one_in > 0 &&
+      rng_.next_below(static_cast<uint64_t>(policy_.dup_one_in)) == 0)
+    copies = 2;
+  for (int c = copies; c > 0; --c) {
+    int delay = 1;
+    if (policy_.max_extra_delay > 0)
+      delay += static_cast<int>(rng_.next_below(
+          static_cast<uint64_t>(policy_.max_extra_delay) + 1));
+    if (c > 1)
+      queue_.push_back(Pending{from, to, payload, words, delay});
+    else
+      queue_.push_back(Pending{from, to, std::move(payload), words, delay});
+  }
 }
 
 void Network::send(NodeId from, NodeId to, std::any payload, int words) {

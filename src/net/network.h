@@ -47,6 +47,16 @@ struct DeliveryPolicy {
   uint64_t seed = 0;
   int max_extra_delay = 0;  ///< Each message waits 1 + U[0, this] rounds.
   bool shuffle = false;     ///< Randomize intra-round delivery order.
+  /// Fault-injection knobs (tests/network_fault_test.cpp). Both act on
+  /// real network messages only — uncounted same-processor events are
+  /// local computation, not traffic — and both are deterministic given the
+  /// seed. The repair DAG tolerates either: a drop leaves its dependents
+  /// undispatched (the wave's structure was already committed through the
+  /// shared core), a duplicate re-delivers into an already-satisfied
+  /// dependency count. Only `rounds` may change.
+  int drop_one_in = 0;  ///< Drop ~1/k of messages before any delay draw (0: off).
+  int dup_one_in = 0;   ///< Deliver ~1/k of messages twice, each copy with
+                        ///< its own independent delay draw (0: off).
 };
 
 /// Round-based network with unit-latency links and optional asynchrony.

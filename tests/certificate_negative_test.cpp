@@ -133,6 +133,9 @@ void expect_rejected(const cert::WaveCertificate& c, const std::string& rule,
   cert::StreamResult stream = cert::check_stream(ss);
   ASSERT_FALSE(stream.ok) << label << ": forgery survived serialization";
   EXPECT_EQ(stream.diagnostic, res.diagnostic) << label;
+  // A forgery is a checker-rule rejection, not a parse failure: fgcheck
+  // must exit 1 for it, never 2.
+  EXPECT_FALSE(stream.malformed) << label;
 }
 
 TEST(CertificateNegative, DegreeClaimOffByOne) {
@@ -215,6 +218,7 @@ TEST(CertificateNegative, BadVersionLine) {
   std::istringstream is(text);
   cert::StreamResult res = cert::check_stream(is);
   ASSERT_FALSE(res.ok);
+  EXPECT_TRUE(res.malformed);
   EXPECT_NE(res.diagnostic.find("version"), std::string::npos) << res.diagnostic;
 }
 
@@ -226,6 +230,7 @@ TEST(CertificateNegative, TruncatedStream) {
   std::istringstream is(text.substr(0, cut));
   cert::StreamResult res = cert::check_stream(is);
   ASSERT_FALSE(res.ok);
+  EXPECT_TRUE(res.malformed);
   EXPECT_NE(res.diagnostic.find("format"), std::string::npos) << res.diagnostic;
   // The two intact leading certificates still counted.
   EXPECT_EQ(res.waves_checked, 2);
@@ -239,6 +244,87 @@ TEST(CertificateNegative, GarbageLine) {
   std::istringstream is(text);
   cert::StreamResult res = cert::check_stream(is);
   ASSERT_FALSE(res.ok);
+  EXPECT_TRUE(res.malformed);
+}
+
+// ---------------------------------------------------------------------------
+// The fgcheck contract (tools/fgcheck.cpp): exit 0 = every stream ACCEPTed,
+// exit 1 = a checker rule rejected a well-formed stream, exit 2 = a stream
+// that would not even parse. StreamResult.malformed carries the 1-vs-2
+// distinction out of cert::check_stream; over several inputs fgcheck
+// reports the most severe outcome.
+
+/// A stream that parses cleanly but fails a checker rule (inflated cost).
+std::string rejected_stream_text() {
+  cert::WaveCertificate c = parse_first_golden_wave();
+  c.cost.rounds = 1 << 20;
+  std::ostringstream os;
+  c.save(os);
+  return os.str();
+}
+
+/// A stream that fails to parse (unsupported version line).
+std::string malformed_stream_text() {
+  std::string text = read_file(fixture_path("golden_central.cert"));
+  EXPECT_EQ(text.rfind("fgcert 1\n", 0), 0u);
+  text.replace(0, 8, "fgcert 2");
+  return text;
+}
+
+TEST(CertificateNegative, MalformedFlagSeparatesParseFromRuleFailures) {
+  {
+    std::istringstream is(read_file(fixture_path("golden_central.cert")));
+    cert::StreamResult res = cert::check_stream(is);
+    ASSERT_TRUE(res.ok) << res.diagnostic;
+    EXPECT_FALSE(res.malformed);
+  }
+  {
+    std::istringstream is(rejected_stream_text());
+    cert::StreamResult res = cert::check_stream(is);
+    ASSERT_FALSE(res.ok);
+    EXPECT_FALSE(res.malformed) << "rule rejection misreported as parse "
+                                   "failure: " << res.diagnostic;
+  }
+  {
+    std::istringstream is(malformed_stream_text());
+    cert::StreamResult res = cert::check_stream(is);
+    ASSERT_FALSE(res.ok);
+    EXPECT_TRUE(res.malformed) << "parse failure misreported as rule "
+                                  "rejection: " << res.diagnostic;
+  }
+}
+
+TEST(CertificateNegative, FgcheckExitCodesPinned) {
+  auto write_stream = [](const std::string& name, const std::string& content) {
+    const std::string path = testing::TempDir() + "/" + name;
+    std::ofstream out(path);
+    EXPECT_TRUE(out.is_open());
+    out << content;
+    return path;
+  };
+  const std::string good =
+      write_stream("fgcheck_good.cert", read_file(fixture_path("golden_central.cert")));
+  const std::string rejected =
+      write_stream("fgcheck_rejected.cert", rejected_stream_text());
+  const std::string malformed =
+      write_stream("fgcheck_malformed.cert", malformed_stream_text());
+
+  auto fgcheck = [](const std::vector<std::string>& paths) {
+    std::string cmd(FG_FGCHECK_BIN);
+    for (const std::string& p : paths) cmd += " " + p;
+    cmd += " > /dev/null 2>&1";
+    const int status = std::system(cmd.c_str());
+    EXPECT_NE(status, -1);
+    return WEXITSTATUS(status);
+  };
+  EXPECT_EQ(fgcheck({good}), 0);
+  EXPECT_EQ(fgcheck({rejected}), 1);
+  EXPECT_EQ(fgcheck({malformed}), 2);
+  // Several inputs: the most severe outcome wins, independent of order.
+  EXPECT_EQ(fgcheck({good, rejected}), 1);
+  EXPECT_EQ(fgcheck({rejected, good}), 1);
+  EXPECT_EQ(fgcheck({good, rejected, malformed}), 2);
+  EXPECT_EQ(fgcheck({malformed, rejected, good}), 2);
 }
 
 }  // namespace

@@ -1,0 +1,273 @@
+#include "fuzz/corruptor.h"
+
+#include <algorithm>
+#include <sstream>
+#include <vector>
+
+#include "fg/core/structural_core.h"
+#include "graph/generators.h"
+#include "util/check.h"
+#include "util/rng.h"
+
+namespace fg::fuzz {
+namespace {
+
+/// Candidate targets snapshotted from the engine. Re-collected before every
+/// mutation: earlier mutations change what is live and what is registered.
+struct Targets {
+  std::vector<VNodeId> live_rows;
+  std::vector<VNodeId> live_leaves;
+  std::vector<std::pair<NodeId, NodeId>> slot_keys;  ///< (owner, other).
+  std::vector<NodeId> alive;
+};
+
+Targets collect(const core::StructuralCore& core) {
+  Targets t;
+  const std::vector<VirtualForest::VNode>& rows = core.forest().dump();
+  for (VNodeId h = 0; h < static_cast<VNodeId>(rows.size()); ++h) {
+    if (!rows[static_cast<size_t>(h)].alive) continue;
+    t.live_rows.push_back(h);
+    if (rows[static_cast<size_t>(h)].is_leaf) t.live_leaves.push_back(h);
+  }
+  const NodeId cap = core.gprime().node_capacity();
+  for (NodeId u = 0; u < cap; ++u) {
+    if (core.is_alive(u)) t.alive.push_back(u);
+    for (const core::SlotTable::Entry& e : core.slot_table().entries(u))
+      t.slot_keys.push_back({u, e.other});
+  }
+  return t;
+}
+
+/// A handle different from `avoid`, drawn from the live rows or kNoVNode.
+VNodeId other_handle(Rng& rng, const Targets& t, VNodeId avoid) {
+  for (int tries = 0; tries < 64; ++tries) {
+    VNodeId h = rng.next_bool(0.2) ? kNoVNode : t.live_rows[static_cast<size_t>(
+                    rng.next_below(t.live_rows.size()))];
+    if (h != avoid) return h;
+  }
+  return avoid == kNoVNode ? t.live_rows.front() : kNoVNode;
+}
+
+bool apply_mutation(ForgivingGraph& fg, Rng& rng, MutationKind kind,
+                    std::ostringstream& log) {
+  core::StructuralCore& core = fg.core();
+  const Targets t = collect(core);
+  const std::vector<VirtualForest::VNode>& rows = core.forest().dump();
+
+  switch (kind) {
+    case MutationKind::kSlotFieldFlip: {
+      if (t.slot_keys.empty() || t.live_rows.empty()) return false;
+      auto [u, w] = t.slot_keys[static_cast<size_t>(
+          rng.next_below(t.slot_keys.size()))];
+      const core::SlotTable::Entry* e = core.slot_table().find(u, w);
+      FG_CHECK(e != nullptr);
+      VNodeId leaf = e->leaf;
+      VNodeId helper = e->helper;
+      if (rng.next_bool(0.5))
+        leaf = other_handle(rng, t, leaf);
+      else
+        helper = other_handle(rng, t, helper);
+      if (leaf == e->leaf && helper == e->helper) return false;
+      core.inject_slot(u, w, leaf, helper);
+      log << "slot-field-flip(" << u << "," << w << ")";
+      return true;
+    }
+    case MutationKind::kSlotErase: {
+      if (t.slot_keys.empty()) return false;
+      auto [u, w] = t.slot_keys[static_cast<size_t>(
+          rng.next_below(t.slot_keys.size()))];
+      core.inject_erase_slot(u, w);
+      log << "slot-erase(" << u << "," << w << ")";
+      return true;
+    }
+    case MutationKind::kSlotForge: {
+      // A slot keyed by a live G' edge — never legal under I1.
+      for (int tries = 0; tries < 64; ++tries) {
+        NodeId u = t.alive[static_cast<size_t>(rng.next_below(t.alive.size()))];
+        std::vector<NodeId> live_nbrs;
+        for (NodeId w : core.gprime().neighbors(u))
+          if (core.is_alive(w)) live_nbrs.push_back(w);
+        if (live_nbrs.empty()) continue;
+        NodeId w = live_nbrs[static_cast<size_t>(rng.next_below(live_nbrs.size()))];
+        if (core.slot_table().find(u, w) != nullptr) continue;
+        VNodeId leaf = t.live_rows.empty()
+                           ? kNoVNode
+                           : t.live_rows[static_cast<size_t>(
+                                 rng.next_below(t.live_rows.size()))];
+        core.inject_slot(u, w, leaf, kNoVNode);
+        log << "slot-forge(" << u << "," << w << ")";
+        return true;
+      }
+      return false;
+    }
+    case MutationKind::kRowLinkScramble: {
+      if (t.live_rows.empty()) return false;
+      VNodeId h = t.live_rows[static_cast<size_t>(
+          rng.next_below(t.live_rows.size()))];
+      VirtualForest::VNode row = rows[static_cast<size_t>(h)];
+      VNodeId* fields[] = {&row.parent, &row.left, &row.right};
+      VNodeId* f = fields[rng.next_below(3)];
+      VNodeId now = other_handle(rng, t, *f);
+      if (now == *f) return false;
+      *f = now;
+      core.inject_vnode_row(h, row);
+      log << "row-link-scramble(" << h << ")";
+      return true;
+    }
+    case MutationKind::kRowAggregateScramble: {
+      if (t.live_rows.empty()) return false;
+      VNodeId h = t.live_rows[static_cast<size_t>(
+          rng.next_below(t.live_rows.size()))];
+      VirtualForest::VNode row = rows[static_cast<size_t>(h)];
+      switch (rng.next_below(3)) {
+        case 0: row.leaf_count += 1 + static_cast<int64_t>(rng.next_below(4)); break;
+        case 1: row.height += 1 + static_cast<int>(rng.next_below(4)); break;
+        default: {
+          VNodeId r = other_handle(rng, t, row.rep);
+          if (r == row.rep) return false;
+          row.rep = r;
+          break;
+        }
+      }
+      core.inject_vnode_row(h, row);
+      log << "row-aggregate-scramble(" << h << ")";
+      return true;
+    }
+    case MutationKind::kRowOwnerSwap: {
+      if (t.live_rows.empty() || t.alive.size() < 2) return false;
+      VNodeId h = t.live_rows[static_cast<size_t>(
+          rng.next_below(t.live_rows.size()))];
+      VirtualForest::VNode row = rows[static_cast<size_t>(h)];
+      for (int tries = 0; tries < 64; ++tries) {
+        NodeId u = t.alive[static_cast<size_t>(rng.next_below(t.alive.size()))];
+        if (u == row.owner) continue;
+        row.owner = u;
+        core.inject_vnode_row(h, row);
+        log << "row-owner-swap(" << h << "->" << u << ")";
+        return true;
+      }
+      return false;
+    }
+    case MutationKind::kRowTombstone: {
+      if (t.live_rows.empty()) return false;
+      VNodeId h = t.live_rows[static_cast<size_t>(
+          rng.next_below(t.live_rows.size()))];
+      VirtualForest::VNode row = rows[static_cast<size_t>(h)];
+      row.alive = false;
+      core.inject_vnode_row(h, row);
+      log << "row-tombstone(" << h << ")";
+      return true;
+    }
+    case MutationKind::kImageEdgeFlip: {
+      if (t.alive.size() < 2) return false;
+      NodeId u = t.alive[static_cast<size_t>(rng.next_below(t.alive.size()))];
+      NodeId v = t.alive[static_cast<size_t>(rng.next_below(t.alive.size()))];
+      if (u == v) v = t.alive[u == t.alive.front() ? t.alive.size() - 1 : 0];
+      if (u == v) return false;
+      core.inject_image_edge_flip(u, v);
+      log << "image-edge-flip(" << u << "," << v << ")";
+      return true;
+    }
+    case MutationKind::kMultiplicityBump: {
+      if (t.alive.size() < 2) return false;
+      NodeId u = t.alive[static_cast<size_t>(rng.next_below(t.alive.size()))];
+      NodeId v = t.alive[static_cast<size_t>(rng.next_below(t.alive.size()))];
+      if (u == v) v = t.alive[u == t.alive.front() ? t.alive.size() - 1 : 0];
+      if (u == v) return false;
+      core.inject_multiplicity_bump(std::min(u, v), std::max(u, v));
+      log << "multiplicity-bump(" << u << "," << v << ")";
+      return true;
+    }
+  }
+  return false;
+}
+
+}  // namespace
+
+const char* mutation_kind_name(MutationKind k) {
+  switch (k) {
+    case MutationKind::kSlotFieldFlip: return "slot-field-flip";
+    case MutationKind::kSlotErase: return "slot-erase";
+    case MutationKind::kSlotForge: return "slot-forge";
+    case MutationKind::kRowLinkScramble: return "row-link-scramble";
+    case MutationKind::kRowAggregateScramble: return "row-aggregate-scramble";
+    case MutationKind::kRowOwnerSwap: return "row-owner-swap";
+    case MutationKind::kRowTombstone: return "row-tombstone";
+    case MutationKind::kImageEdgeFlip: return "image-edge-flip";
+    case MutationKind::kMultiplicityBump: return "multiplicity-bump";
+  }
+  return "unknown";
+}
+
+ForgivingGraph make_substrate(uint64_t seed) {
+  Rng rng(seed ^ 0xf06d5a1d5a1dULL);
+  const int n = 48 + static_cast<int>(rng.next_below(112));
+  Graph g0;
+  switch (rng.next_below(3)) {
+    case 0: g0 = make_star(n); break;
+    case 1: g0 = make_sparse_random(n, 3.0, rng); break;
+    default: g0 = make_binary_tree(n); break;
+  }
+  ForgivingGraph fg(g0);
+
+  // Churn until RTs with helpers exist: a few deletion waves with some
+  // inserts in between. All seeded; no structural randomness beyond rng.
+  const int waves = 2 + static_cast<int>(rng.next_below(3));
+  for (int w = 0; w < waves; ++w) {
+    std::vector<NodeId> alive;
+    for (NodeId v = 0; v < fg.gprime().node_capacity(); ++v)
+      if (fg.is_alive(v)) alive.push_back(v);
+    // Keep at least two processors alive so the substrate stays a graph
+    // worth healing.
+    const int max_kill = static_cast<int>(alive.size()) - 2;
+    if (max_kill <= 0) break;
+    const int kill = 1 + static_cast<int>(rng.next_below(
+                             static_cast<uint64_t>(std::min(8, max_kill))));
+    rng.shuffle(alive);
+    std::vector<NodeId> victims(alive.begin(), alive.begin() + kill);
+    fg.delete_batch(victims);
+
+    if (rng.next_bool(0.7)) {
+      std::vector<NodeId> survivors(alive.begin() + kill, alive.end());
+      const int nbrs = 1 + static_cast<int>(rng.next_below(
+                               std::min<uint64_t>(3, survivors.size())));
+      rng.shuffle(survivors);
+      fg.insert(std::span<const NodeId>(survivors.data(),
+                                        static_cast<size_t>(nbrs)));
+    }
+  }
+  fg.validate();
+  return fg;
+}
+
+CorruptionLog corrupt(ForgivingGraph& fg, uint64_t seed, int mutations) {
+  Rng rng(seed ^ 0xc0ffee0ddba11ULL);
+  CorruptionLog out;
+  std::ostringstream log;
+  int stuck = 0;
+  while (out.applied < mutations && stuck < 128) {
+    MutationKind kind =
+        static_cast<MutationKind>(rng.next_below(kMutationKinds));
+    if (apply_mutation(fg, rng, kind, log)) {
+      ++out.applied;
+      log << "; ";
+      stuck = 0;
+    } else {
+      ++stuck;
+    }
+  }
+  out.description = log.str();
+  return out;
+}
+
+CorruptionLog corrupt_one(ForgivingGraph& fg, uint64_t seed, MutationKind kind) {
+  Rng rng(seed ^ 0xc0ffee0ddba11ULL);
+  CorruptionLog out;
+  std::ostringstream log;
+  for (int tries = 0; tries < 64 && out.applied == 0; ++tries)
+    if (apply_mutation(fg, rng, kind, log)) out.applied = 1;
+  out.description = log.str();
+  return out;
+}
+
+}  // namespace fg::fuzz

@@ -1,0 +1,64 @@
+// Deterministic state-corruption fuzzer for the self-stabilization oracle
+// (docs/SELF_STABILIZATION.md, "The corruption fuzzer").
+//
+// Test-only machinery (linked via fg_testsupport, never into fg_core): given
+// a seed, build a churned engine substrate, then drive the structural
+// core's fault-injection seams with seeded mutations — flipped or erased
+// slot entries, forged slots on live edges, scrambled RT rows (links,
+// aggregates, ownership, tombstones), desynced image edges and
+// multiplicities. Everything is a pure function of the seed, so a failing
+// seed replays exactly (the committed corpus under tests/data/corruption/).
+//
+// The oracle loop the suites drive on top:
+//   corrupt -> audit (dirty) -> stabilize -> audit (clean, fixed point)
+//   -> validate() -> certificate ACCEPTed by cert::check and tools/fgcheck.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "fg/forgiving_graph.h"
+
+namespace fg::fuzz {
+
+/// The injectable mutation families (one fault-injection seam each; see
+/// corruptor.cpp for the exact state change per kind).
+enum class MutationKind {
+  kSlotFieldFlip = 0,      ///< Repoint a slot's leaf/helper field.
+  kSlotErase,              ///< Remove an anchor slot outright.
+  kSlotForge,              ///< Forge a slot keyed by a live G' edge.
+  kRowLinkScramble,        ///< Rewire a row's parent/left/right.
+  kRowAggregateScramble,   ///< Desync height/leaf_count/rep.
+  kRowOwnerSwap,           ///< Reassign a row to another alive processor.
+  kRowTombstone,           ///< Kill a live row, stranding its links.
+  kImageEdgeFlip,          ///< Toggle a healed-image edge behind the map's back.
+  kMultiplicityBump,       ///< Bump an edge multiplicity behind G's back.
+};
+inline constexpr int kMutationKinds = 9;
+
+const char* mutation_kind_name(MutationKind k);
+
+/// What one corrupt() call did, for failure messages and corpus notes.
+struct CorruptionLog {
+  int applied = 0;          ///< Mutations that actually changed state.
+  std::string description;  ///< "kind(args); kind(args); ...".
+};
+
+/// Deterministic churned substrate for `seed`: a generator topology
+/// (star / sparse-random / binary tree, sized by the seed), a few
+/// insert/delete waves so RTs with helpers exist, validated before return.
+ForgivingGraph make_substrate(uint64_t seed);
+
+/// Apply `mutations` seeded state corruptions to fg.core(). Every mutation
+/// targets live, observable state and is guaranteed to differ from the
+/// value it overwrites — a single mutation on a legal engine always leaves
+/// an auditable violation. Distinct mutations may in principle cancel;
+/// the oracle cross-checks that case with validate().
+CorruptionLog corrupt(ForgivingGraph& fg, uint64_t seed, int mutations);
+
+/// corrupt() restricted to one mutation of one specific kind (kind-coverage
+/// tests). Returns applied == 0 iff the kind has no target in this engine
+/// (e.g. no helper rows yet).
+CorruptionLog corrupt_one(ForgivingGraph& fg, uint64_t seed, MutationKind kind);
+
+}  // namespace fg::fuzz

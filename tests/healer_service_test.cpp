@@ -19,6 +19,7 @@
 
 #include "cert/certificate.h"
 #include "fg/healer_service.h"
+#include "fg/stabilizer.h"
 #include "graph/generators.h"
 #include "util/rng.h"
 
@@ -338,6 +339,66 @@ TEST(HealerService, GuardrailOffEmitsNothing) {
   service.flush();
   EXPECT_EQ(service.stats().certified_waves, 0);
   EXPECT_TRUE(certs.str().empty());
+}
+
+// ---------------------------------------------------------------------------
+// Sampled audit guardrail (self-stabilizing recovery in the serving loop).
+
+TEST(HealerService, AuditGuardrailDetectsAlertsAndRecovers) {
+  Rng rng(13);
+  Graph g0 = make_sparse_random(64, 4.0, rng);
+  HealerConfig config;
+  config.wave_size = 4;
+  config.audit_every = 1;
+  HealerService service(g0, config);
+
+  std::vector<std::string> alerts;
+  service.set_alert([&alerts](int64_t, const std::string& what) {
+    alerts.push_back(what);
+  });
+
+  // Corrupt derived state (an image multiplicity, away from the wave's
+  // victims) between snapshot and commit. The injection bumps the mutation
+  // epoch, so the admission gate re-plans; the post-commit audit then finds
+  // the drift and the stabilizer repairs it in-loop.
+  bool fired = false;
+  service.set_admission_hook([&](int64_t wave) {
+    if (wave != 0 || fired) return;
+    fired = true;
+    service.engine().core().inject_multiplicity_bump(NodeId{50}, NodeId{51});
+  });
+
+  for (NodeId v = 0; v < 8; ++v) service.push(ChurnOp::Delete(v));
+  service.flush();
+
+  EXPECT_TRUE(fired);
+  const HealerStats& stats = service.stats();
+  EXPECT_EQ(stats.waves, 2);
+  EXPECT_EQ(stats.audits, 2);  // audit_every=1 samples every wave
+  EXPECT_GT(stats.audit_violations, 0);
+  EXPECT_EQ(stats.recoveries, 1);
+  EXPECT_EQ(stats.cert_rejections, 0);
+  ASSERT_EQ(alerts.size(), 1u);
+  EXPECT_EQ(alerts.front().rfind("audit: ", 0), 0u) << alerts.front();
+
+  // The loop left a clean engine behind: audit and validate both agree.
+  Stabilizer stabilizer(service.engine());
+  EXPECT_TRUE(stabilizer.audit().clean());
+  service.engine().validate();
+}
+
+TEST(HealerService, AuditGuardrailQuietOnCleanChurn) {
+  Rng rng(14);
+  Graph g0 = make_sparse_random(128, 4.0, rng);
+  std::vector<ChurnOp> ops = make_stream(128, 400, 0xD00D);
+  HealerConfig config;
+  config.wave_size = 8;
+  config.audit_every = 4;
+  ServiceRun run = run_service(g0, ops, config);  // asserts zero alerts
+  ASSERT_GT(run.stats.waves, 8);
+  EXPECT_EQ(run.stats.audits, (run.stats.waves + 3) / 4);
+  EXPECT_EQ(run.stats.audit_violations, 0);
+  EXPECT_EQ(run.stats.recoveries, 0);
 }
 
 TEST(HealerService, RunReportsIngestedOpCount) {

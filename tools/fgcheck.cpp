@@ -4,13 +4,17 @@
 //   fgcheck FILE...        validate certificate streams (use "-" for stdin)
 //   fgcheck --selftest     run the built-in positive/negative fixtures
 //
-// Exit status 0 iff every input validates. A rejection prints one localized
-// diagnostic to stderr: "<file>: wave <w>[ region <r>]: <rule>: <detail>".
+// Exit status 0 iff every input validates; 1 when a well-formed certificate
+// fails a checker rule; 2 when an input cannot be parsed at all (or on a
+// usage error). Mixed inputs report the most severe class. A rejection
+// prints one localized diagnostic to stderr:
+// "<file>: wave <w>[ region <r>]: <rule>: <detail>".
 //
 // This binary links src/cert + src/graph ONLY — no fg:: engine code — so it
 // cannot share a defect with the engines whose output it audits (the
 // independence argument of docs/CERTIFICATES.md; the CMake link line is
 // gated by scripts/check_docs.py).
+#include <algorithm>
 #include <fstream>
 #include <iostream>
 #include <sstream>
@@ -24,7 +28,7 @@ int check_stream_named(std::istream& is, const std::string& name) {
   fg::cert::StreamResult res = fg::cert::check_stream(is);
   if (!res.ok) {
     std::cerr << name << ": " << res.diagnostic << '\n';
-    return 1;
+    return res.malformed ? 2 : 1;
   }
   std::cout << name << ": " << res.waves_checked << " wave(s) OK\n";
   return 0;
@@ -155,21 +159,23 @@ int main(int argc, char** argv) {
     std::cerr << "usage: fgcheck [--selftest] FILE...\n";
     return 2;
   }
+  // Most-severe-wins aggregation (0 < 1 < 2): bitwise-OR would alias a
+  // rejection plus a parse failure to 3, outside the documented codes.
   int status = 0;
   for (int i = 1; i < argc; ++i) {
     std::string arg = argv[i];
     if (arg == "--selftest") {
-      status |= selftest();
+      status = std::max(status, selftest());
     } else if (arg == "-") {
-      status |= check_stream_named(std::cin, "<stdin>");
+      status = std::max(status, check_stream_named(std::cin, "<stdin>"));
     } else {
       std::ifstream f(arg);
       if (!f) {
         std::cerr << arg << ": cannot open\n";
-        status = 1;
+        status = std::max(status, 1);
         continue;
       }
-      status |= check_stream_named(f, arg);
+      status = std::max(status, check_stream_named(f, arg));
     }
   }
   return status;
