@@ -37,6 +37,8 @@
 #include "fg/core/slot_table.h"
 #include "fg/dist/dist_forgiving_graph.h"
 #include "fg/forgiving_graph.h"
+#include "fg/snapshot_writer.h"
+#include "snap/snapshot.h"
 #include "graph/generators.h"
 #include "harness/certificate.h"
 #include "heal/healer.h"
@@ -563,6 +565,81 @@ void churn_service(Table& t) {
                     static_cast<double>(r.stats.certified_waves), 0.0});
 }
 
+// Scenario I (R8): the durable-snapshot subsystem (src/snap) at the
+// acceptance scale, n = 2^20. Four costs and one size:
+//
+//   snapshot_base   — to_base_image + encode_base of the full engine
+//   snapshot_delta  — framing one 64-victim wave delta (the steady-state
+//                     per-wave cost the healer service pays)
+//   restore_full    — the pre-snapshot path: parse a text checkpoint
+//   restore_delta   — the snapshot path: decode base + replay ONE delta
+//   bytes_per_node  — base-image size over n
+//
+// The point of the subsystem is the restore_full / restore_delta ratio:
+// recovery cost proportional to the delta tail, not to n-scale text
+// parsing. Both restores are FG_CHECKed to land on the identical
+// checkpoint before the ratio is recorded.
+void snapshot_cost(Table& t) {
+  constexpr int kN = 1 << 20;
+  constexpr int kWave = 64;
+  Rng rng(55);
+  Graph g0 = make_sparse_random(kN, 4.0, rng);
+  ForgivingGraph fg(g0);
+
+  // Base image of the pre-wave state: this is what a rotation writes.
+  auto t0 = std::chrono::steady_clock::now();
+  snap::BaseImage base;
+  fg.core().to_base_image(&base);
+  std::vector<uint8_t> base_bytes = snap::encode_base(base);
+  record(t, "snapshot_base", kN, kN, ms_since(t0));
+  g_rows.push_back({"bytes_per_node", kN, kN,
+                    static_cast<double>(base_bytes.size()) / kN, 0.0});
+
+  // One wave of deletions with the recorder attached — the delta is the
+  // whole durable cost of that wave.
+  SnapshotRecorder rec;
+  rec.begin(fg.core(), 0, 0);
+  snap::WaveDelta delta;
+  rec.set_sink([&delta](const snap::WaveDelta& d) { delta = d; });
+  fg.core().set_delta_recorder(&rec);
+  auto wave = g0.alive_nodes();
+  rng.shuffle(wave);
+  wave.resize(kWave);
+  fg.delete_batch(wave);
+  fg.core().set_delta_recorder(nullptr);
+  FG_CHECK(delta.wave == 1 && !rec.needs_rebase());
+
+  t0 = std::chrono::steady_clock::now();
+  std::vector<uint8_t> log_bytes;
+  snap::append_delta(&log_bytes, delta);
+  record(t, "snapshot_delta", kN, kWave, ms_since(t0));
+
+  std::stringstream text;
+  fg.core().save(text);
+
+  t0 = std::chrono::steady_clock::now();
+  core::StructuralCore from_text = core::StructuralCore::load(text);
+  double full_ms = ms_since(t0);
+  record(t, "restore_full", kN, kN, full_ms);
+
+  t0 = std::chrono::steady_clock::now();
+  snap::BaseImage decoded;
+  std::string err;
+  FG_CHECK(snap::decode_base(base_bytes, &decoded, &err));
+  core::StructuralCore from_snap;
+  FG_CHECK(core::StructuralCore::from_base_image(decoded, &from_snap, &err));
+  FG_CHECK(from_snap.apply_wave_delta(delta, &err));
+  double delta_ms = ms_since(t0);
+  record(t, "restore_delta", kN, kWave, delta_ms);
+
+  std::stringstream a, b;
+  from_text.save(a);
+  from_snap.save(b);
+  FG_CHECK_MSG(a.str() == b.str(), "snapshot restore diverged from text load");
+  if (delta_ms > 0.0)
+    g_rows.push_back({"restore_speedup", kN, kN, full_ms / delta_ms, 0.0});
+}
+
 void write_json(const std::string& path) {
   std::ofstream os(path);
   os << "{\n  \"bench\": \"repair_path\",\n  \"hw_threads\": "
@@ -597,6 +674,7 @@ int main() {
   sharded_wave(t, cost);
   certify_overhead(t);
   churn_service(t);
+  snapshot_cost(t);
   t.print(std::cout);
   std::cout << "\nprotocol cost (wave DAGs; regions repair in parallel rounds):\n";
   cost.print(std::cout);

@@ -1,7 +1,7 @@
 // Parameterizable simulation driver — run any (graph x adversary x healer)
 // combination from the command line and get the paper's success metrics.
 //
-//   $ ./examples/simulate [--certify[=FILE]] [graph] [n] [healer] [adversary] [steps] [seed]
+//   $ ./examples/simulate [--certify[=FILE]] [--snapshot=PATH] [graph] [n] [healer] [adversary] [steps] [seed]
 //
 // Defaults: er 512 forgiving random-delete 300 1.
 // Graphs:     star path cycle grid er ba tree
@@ -14,12 +14,21 @@
 // ready to pipe through the standalone verifier: ./fgcheck FILE. Only the
 // forgiving healer has waves to certify.
 //
+// --snapshot=PATH keeps a durable snapshot of the run (docs/SNAPSHOTS.md):
+// PATH.base gets the initial base image, PATH.log one CRC-framed delta
+// record per committed repair wave. Inspect or verify the pair with the
+// standalone tool: ./fgsnap verify PATH.base PATH.log. Forgiving healer
+// only (the baselines have no structural core to snapshot).
+//
 // Set FG_CSV=1 to get CSV alongside the table.
 #include <cstdlib>
 #include <fstream>
 #include <iostream>
+#include <memory>
 #include <sstream>
 #include <string>
+
+#include "fg/snapshot_writer.h"
 
 #include "adversary/adversary.h"
 #include "graph/generators.h"
@@ -55,12 +64,20 @@ int main(int argc, char** argv) {
   using namespace fg;
   bool certify = false;
   std::string certify_file;
+  std::string snapshot_path;
   int arg0 = 1;
-  if (argc > 1 && std::string(argv[1]).rfind("--certify", 0) == 0) {
-    std::string flag = argv[1];
-    certify = true;
-    if (flag.size() > 10 && flag[9] == '=') certify_file = flag.substr(10);
-    arg0 = 2;
+  while (argc > arg0 && std::string(argv[arg0]).rfind("--", 0) == 0) {
+    std::string flag = argv[arg0];
+    if (flag.rfind("--certify", 0) == 0) {
+      certify = true;
+      if (flag.size() > 10 && flag[9] == '=') certify_file = flag.substr(10);
+    } else if (flag.rfind("--snapshot=", 0) == 0 && flag.size() > 11) {
+      snapshot_path = flag.substr(11);
+    } else {
+      std::cerr << "unknown flag: " << flag << "\n";
+      return 2;
+    }
+    ++arg0;
   }
   auto arg = [&](int i, const char* dflt) {
     return argc > arg0 + i ? std::string(argv[arg0 + i]) : std::string(dflt);
@@ -88,6 +105,24 @@ int main(int argc, char** argv) {
     fgh->engine().set_certificate_sink(&cert_writer);
   }
 
+  std::unique_ptr<SnapshotWriter> snapshot;
+  ForgivingGraphHealer* snap_healer = nullptr;
+  if (!snapshot_path.empty()) {
+    snap_healer = dynamic_cast<ForgivingGraphHealer*>(healer.get());
+    if (snap_healer == nullptr) {
+      std::cerr << "--snapshot requires the forgiving healer\n";
+      return 2;
+    }
+    snapshot = std::make_unique<SnapshotWriter>(snapshot_path + ".base",
+                                                snapshot_path + ".log", 0);
+    std::string err;
+    if (!snapshot->begin(snap_healer->engine().core(), 0, 0, &err)) {
+      std::cerr << "--snapshot: " << err << "\n";
+      return 2;
+    }
+    snap_healer->engine().core().set_delta_recorder(snapshot.get());
+  }
+
   std::cout << "simulate: graph=" << graph << " n=" << n << " healer=" << healer->name()
             << " adversary=" << adversary->name() << " steps=" << steps
             << " seed=" << seed << "\n\n";
@@ -113,6 +148,18 @@ int main(int argc, char** argv) {
             << ", stretch " << fmt(res.worst_stretch) << ", broken pairs "
             << res.broken_pairs_total << " (" << res.deletions << " deletions, "
             << res.insertions << " insertions)\n";
+
+  if (snapshot != nullptr) {
+    snap_healer->engine().core().set_delta_recorder(nullptr);
+    if (!snapshot->maintain(snap_healer->engine().core())) {
+      std::cerr << "--snapshot: " << snapshot->take_error() << "\n";
+      return 2;
+    }
+    std::cout << "\nsnapshot: " << snapshot_path << ".base + " << snapshot_path
+              << ".log (" << snapshot->waves()
+              << " wave deltas; verify with: fgsnap verify " << snapshot_path
+              << ".base " << snapshot_path << ".log)\n";
+  }
 
   if (certify) {
     const std::string certs = cert_buf.str();

@@ -388,6 +388,98 @@ def check_stabilizer_sync():
     return problems
 
 
+# The snapshot-subsystem gate (docs/SNAPSHOTS.md): the doc must exist, its
+# "## API surface" names must be code tokens in the headers they are
+# attributed to, the key producer/consumer names must be documented in
+# docs/API.md, the "fgsnap 1" format version string must match between the
+# doc and src/snap/snapshot.h, the fgsnap link line must name fg_snap and
+# never an engine library (the independence argument, mirroring fgcheck),
+# and docs/DESIGN.md must keep its "Durable snapshots" section.
+SNAP_VERSION = "fgsnap 1"
+SNAP_API_MD_NAMES = (
+    "SnapshotWriter",
+    "SnapshotRecorder",
+    "restore_snapshot",
+    "SnapshotRestore",
+    "snapshot_every",
+    "snapshot_path",
+    "to_base_image",
+    "from_base_image",
+    "apply_wave_delta",
+    "try_load",
+)
+
+
+def check_snapshot_sync():
+    doc = REPO / "docs" / "SNAPSHOTS.md"
+    if not doc.exists():
+        return ["docs/SNAPSHOTS.md: missing (the snapshot-format doc is required)"]
+    problems = []
+    doc_text = doc.read_text()
+    api_md = (REPO / "docs" / "API.md").read_text()
+    design_md = (REPO / "docs" / "DESIGN.md").read_text()
+
+    marker = "## API surface"
+    if marker not in doc_text:
+        problems.append(
+            "docs/SNAPSHOTS.md: missing the '## API surface' section the sync "
+            "check reads")
+    else:
+        section = doc_text.split(marker, 1)[1]
+        entries = API_ENTRY_RE.findall(section)
+        if not entries:
+            problems.append("docs/SNAPSHOTS.md: API surface section lists no headers")
+        for header, names in entries:
+            path = REPO / header
+            if not path.exists():
+                problems.append(
+                    f"docs/SNAPSHOTS.md: API surface names missing header {header}")
+                continue
+            code = header_code(path)
+            for name in API_NAME_RE.findall(names):
+                if not re.search(r"\b" + re.escape(name) + r"\b", code):
+                    problems.append(
+                        f"docs/SNAPSHOTS.md: `{name}` is attributed to {header} "
+                        "but does not appear in its code — update the doc or "
+                        "the header")
+
+    for name in SNAP_API_MD_NAMES:
+        if name not in api_md:
+            problems.append(
+                f"docs/API.md: snapshot API name `{name}` is undocumented — "
+                "the durable-snapshot section must cover the producer and "
+                "restore surface")
+
+    snap_header = (REPO / "src" / "snap" / "snapshot.h").read_text()
+    if f'"{SNAP_VERSION}' not in snap_header:
+        problems.append(
+            f"src/snap/snapshot.h: format magic \"{SNAP_VERSION}\" not found "
+            "— bumping the version means updating this gate and "
+            "docs/SNAPSHOTS.md together")
+    if f"`{SNAP_VERSION}`" not in doc_text:
+        problems.append(
+            f"docs/SNAPSHOTS.md: must name the current format version "
+            f"(`{SNAP_VERSION}`) — the grammar section is versioned")
+
+    cmake = (REPO / "CMakeLists.txt").read_text()
+    link = re.search(r"target_link_libraries\(fgsnap\b([^)]*)\)", cmake)
+    if link is None:
+        problems.append("CMakeLists.txt: no fgsnap link line found")
+    elif (re.search(r"\bfg_core\b", link.group(1)) or
+          re.search(r"\bfg_graph\b", link.group(1)) or
+          "fg_snap" not in link.group(1)):
+        problems.append(
+            "CMakeLists.txt: fgsnap must link fg_snap and never an engine "
+            "library — a verifier with engine code linked in defeats the "
+            "audit (docs/SNAPSHOTS.md)")
+
+    if "## Durable snapshots" not in design_md:
+        problems.append(
+            "docs/DESIGN.md: missing the 'Durable snapshots' section (base "
+            "images, delta log, crash-consistency rules, restore-audit flow)")
+    return problems
+
+
 # The certificate independence gate. The whole value of tools/fgcheck is
 # that it cannot share a defect with the engines it audits; that property
 # lives in two places the compiler does not enforce: the src/cert include
@@ -467,7 +559,8 @@ def check_certificate_independence():
 def main():
     problems = (check_links() + check_snippet_sync() + check_concurrency_sync() +
                 check_graph_api_sync() + check_healer_service_sync() +
-                check_stabilizer_sync() + check_certificate_independence())
+                check_stabilizer_sync() + check_snapshot_sync() +
+                check_certificate_independence())
     for p in problems:
         print(p, file=sys.stderr)
     if problems:
@@ -476,7 +569,8 @@ def main():
           "links resolve, example snippets in sync, CONCURRENCY.md API names "
           "and C4 wording match the headers, Graph view API in sync (no "
           "unordered_set in the surface), healer-service API in sync, "
-          "stabilizer API and violation kinds in sync, certificate checker "
+          "stabilizer API and violation kinds in sync, snapshot format/API "
+          "in sync (fgsnap link line engine-free), certificate checker "
           "independent (includes + fgcheck link line) and its API/version "
           "in sync")
 

@@ -48,12 +48,16 @@ class SlotTable {
   };
 
   /// Ensure processors [0, n) have (possibly empty) tables. Grow-only.
+  /// The per-processor heads are allocated lazily on the first ensure() —
+  /// a table that is never written (snapshot restore of an insert-only
+  /// substrate, early warmup) costs nothing but this size_t.
   void resize(size_t n) {
-    FG_CHECK(n >= heads_.size());
-    heads_.resize(n);
+    FG_CHECK(n >= procs_);
+    procs_ = n;
+    if (!heads_.empty()) heads_.resize(n);
   }
 
-  size_t procs() const { return heads_.size(); }
+  size_t procs() const { return procs_; }
 
   /// Processor v's slot for far endpoint `other`, or nullptr. Binary search
   /// over the sorted entry array.
@@ -128,11 +132,14 @@ class SlotTable {
   static bool by_other(const Entry& e, NodeId other) { return e.other < other; }
 
   const Head& head(NodeId v) const {
-    FG_CHECK(v >= 0 && static_cast<size_t>(v) < heads_.size());
+    FG_CHECK(v >= 0 && static_cast<size_t>(v) < procs_);
+    static const Head kEmptyHead{};
+    if (heads_.empty()) return kEmptyHead;
     return heads_[static_cast<size_t>(v)];
   }
   Head& head(NodeId v) {
-    FG_CHECK(v >= 0 && static_cast<size_t>(v) < heads_.size());
+    FG_CHECK(v >= 0 && static_cast<size_t>(v) < procs_);
+    if (heads_.size() != procs_) heads_.resize(procs_);
     return heads_[static_cast<size_t>(v)];
   }
 
@@ -178,7 +185,9 @@ class SlotTable {
     h.spill = off;
   }
 
+  /// Materialized lazily (see resize); procs_ is the logical extent.
   std::vector<Head> heads_;
+  size_t procs_ = 0;
   /// The spill pool: every spilled table is a sub-range of this one buffer,
   /// recycled through per-size-class free lists; it never shrinks.
   std::vector<Entry> pool_;

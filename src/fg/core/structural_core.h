@@ -73,7 +73,14 @@
 #include "haft/haft.h"
 #include "util/flat_count_map.h"
 
+namespace fg::snap {
+struct BaseImage;
+struct WaveDelta;
+}  // namespace fg::snap
+
 namespace fg::core {
+
+class StructuralCore;
 
 /// How a batched deletion groups its repair. kPerRegion (the default) heals
 /// each connected dirty region into its own RT, which is what lets disjoint
@@ -267,6 +274,41 @@ class RepairObserver {
   /// roots); children have already been processed.
   virtual void on_teardown(VNodeId h, NodeId owner, NodeId parent_owner) {
     (void)h, (void)owner, (void)parent_owner;
+  }
+};
+
+/// Hooks the snapshot layer installs to capture, per committed wave, the
+/// exact set of structural changes (docs/SNAPSHOTS.md). Unlike
+/// RepairObserver — which mirrors the repair walk event by event — the
+/// delta recorder only *accumulates touched keys*; the final values are
+/// read from the core when fg::ShardedForest fires on_wave_committed after
+/// the commit settles. Every callback runs on the single-threaded parts of
+/// the pipeline (insert_node, the region-id-ordered effect stitches), so a
+/// recorder needs no synchronization, and the accumulated sets are a pure
+/// function of the op stream — snapshot bytes join contract C4.
+class DeltaRecorder {
+ public:
+  virtual ~DeltaRecorder() = default;
+
+  /// insert_node applied: processor `id` attached to `neighbors`. The
+  /// image-edge touches of the insertion arrive through on_image_touch.
+  virtual void on_insert(NodeId id, std::span<const NodeId> neighbors) {
+    (void)id, (void)neighbors;
+  }
+
+  /// The image multiplicity of edge (u, v) is about to change (u != v).
+  /// Fired by every multiplicity funnel — add/remove_image_edge and the
+  /// batched break/merge stitches — so the accumulated key set covers
+  /// every healed-image edge the wave (or an insertion) touched.
+  virtual void on_image_touch(NodeId u, NodeId v) { (void)u, (void)v; }
+
+  /// A wave's commit fully settled (fired by fg::ShardedForest::execute,
+  /// after the merge stitch): read the touched rows'/slots'/multiplicities'
+  /// final values and emit the wave's delta record. `plan` names the
+  /// victims, the break-script handles, and the arena reservation — the
+  /// complete touched-row set of the wave.
+  virtual void on_wave_committed(const StructuralCore& core, const RepairPlan& plan) {
+    (void)core, (void)plan;
   }
 };
 
@@ -522,7 +564,50 @@ class StructuralCore {
   /// line-oriented text stream; `load` restores an equivalent core. The
   /// slot table and healed image are derived state, rebuilt on load.
   void save(std::ostream& os) const;
+
+  /// Restore a core from a text checkpoint, or abort on malformed input
+  /// (FG_CHECK) — the trusted-input path. Untrusted streams go through
+  /// try_load below.
   static StructuralCore load(std::istream& is);
+
+  /// Restore a core from a text checkpoint, returning false with a typed
+  /// parse error instead of aborting: truncated streams, garbage tokens,
+  /// out-of-range ids, and inconsistent derived state are all reported
+  /// through *error (never FG_CHECKed). On failure *out is unspecified.
+  static bool try_load(std::istream& is, StructuralCore* out, std::string* error);
+
+  // --- Binary snapshots (src/snap; docs/SNAPSHOTS.md). --------------------
+
+  /// Fill a binary base image with the complete structure, derived state
+  /// included (slot tables, image multiplicities), every list in canonical
+  /// sorted order — the bytes snap::encode_base produces from it are a
+  /// pure function of the structure (contract C4). Leaves the image's
+  /// wave/cursor header fields untouched; epoch is stamped from this core.
+  void to_base_image(snap::BaseImage* out) const;
+
+  /// Restore a core from a base image. Same error contract as try_load:
+  /// malformed images (out-of-range handles, duplicate edges, derived
+  /// state inconsistent with the forest) return false + *error, never
+  /// abort. The restored core's mutation epoch is the image's.
+  static bool from_base_image(const snap::BaseImage& image, StructuralCore* out,
+                              std::string* error);
+
+  /// Replay one wave delta (final-value semantics) on top of this core:
+  /// insertions in stream order, the touched forest rows / slots /
+  /// multiplicities overwritten with their recorded final values, victims
+  /// tombstoned, epoch advanced to the delta's. O(changes), not O(n).
+  /// Same typed-error contract as from_base_image; on failure the core is
+  /// partially mutated and must be discarded.
+  bool apply_wave_delta(const snap::WaveDelta& delta, std::string* error);
+
+  /// Install the snapshot layer's per-wave change recorder (nullptr
+  /// disables). The core fires the insertion/image-touch callbacks; the
+  /// wave-committed callback is fired by fg::ShardedForest::execute once a
+  /// commit fully settles. Recording is only meaningful on the reserved
+  /// sharded pipeline — the path both engines' batch deletes and the
+  /// healer service drive.
+  void set_delta_recorder(DeltaRecorder* recorder) { recorder_ = recorder; }
+  DeltaRecorder* delta_recorder() const { return recorder_; }
 
   /// Full invariant check I1-I5 (expensive; used by tests).
   void validate() const;
@@ -535,6 +620,15 @@ class StructuralCore {
   static uint64_t edge_key(NodeId u, NodeId v);
   void add_image_edge(NodeId u, NodeId v);
   void remove_image_edge(NodeId u, NodeId v);
+
+  /// Tell the delta recorder (if any) that edge (u, v)'s multiplicity is
+  /// about to change. Called from every multiplicity funnel, all of which
+  /// are single-threaded (sequential commit, or the region-id-ordered
+  /// stitches) — never from the concurrent recorded break/merge phases,
+  /// which only buffer.
+  void note_image_touch(NodeId u, NodeId v) {
+    if (recorder_ != nullptr) recorder_->on_image_touch(u, v);
+  }
 
   /// Drop the virtual edge between h and its parent from the image and
   /// detach h (no-op on roots).
@@ -570,6 +664,7 @@ class StructuralCore {
   std::vector<EdgeDelta> delta_scratch_;
   RepairStats last_repair_;
   uint64_t epoch_ = 0;  ///< See mutation_epoch().
+  DeltaRecorder* recorder_ = nullptr;  ///< See set_delta_recorder().
 };
 
 }  // namespace fg::core

@@ -48,6 +48,12 @@ class ForgivingGraph {
   /// Start from a connected network G0; ids 0..n-1 become live processors.
   explicit ForgivingGraph(const Graph& g0) : core_(g0) {}
 
+  /// Adopt an already-populated core — the binary-snapshot restore path
+  /// (fg::restore_snapshot rebuilds the core from a base image plus the
+  /// delta tail, then hands it to an engine to resume healing).
+  explicit ForgivingGraph(core::StructuralCore&& restored)
+      : core_(std::move(restored)) {}
+
   /// Adversarial insertion: a new processor attached to `neighbors` (all
   /// alive, no duplicates). Returns the new processor id.
   NodeId insert(std::span<const NodeId> neighbors) {

@@ -34,16 +34,46 @@ double HealerStats::latency_percentile(double p) const {
 
 HealerService::HealerService(const Graph& g0, HealerConfig config)
     : fg_(g0), config_(config) {
+  init();
+}
+
+HealerService::HealerService(core::StructuralCore&& restored, uint64_t waves_done,
+                             uint64_t ops_done, HealerConfig config)
+    : fg_(std::move(restored)), config_(config) {
+  // Wave indexing and the resume cursor continue from the restore point, so
+  // every sampled guardrail (certify_every, audit_every) and every future
+  // delta's cursor line up with the uninterrupted run.
+  stats_.waves = static_cast<int64_t>(waves_done);
+  stats_.ops = static_cast<int64_t>(ops_done);
+  ingested_ops_ = static_cast<int64_t>(ops_done);
+  init();
+}
+
+void HealerService::init() {
   FG_CHECK_MSG(config_.wave_size >= 1, "wave_size must be at least 1");
   FG_CHECK_MSG(config_.certify_every >= 0, "certify_every must be non-negative");
   FG_CHECK_MSG(config_.audit_every >= 0, "audit_every must be non-negative");
+  FG_CHECK_MSG(config_.snapshot_every >= 0, "snapshot_every must be non-negative");
+  FG_CHECK_MSG(config_.snapshot_every == 0 || !config_.snapshot_path.empty(),
+               "snapshot_every needs a snapshot_path");
   fg_.set_shard_workers(config_.plan_workers);
   fg_.set_commit_workers(config_.commit_workers);
   fg_.set_break_workers(config_.break_workers);
+  if (config_.snapshot_every > 0) {
+    snapshot_ = std::make_unique<SnapshotWriter>(config_.snapshot_path + ".base",
+                                                 config_.snapshot_path + ".log",
+                                                 config_.snapshot_every);
+    std::string err;
+    bool wrote = snapshot_->begin(fg_.core(), static_cast<uint64_t>(stats_.waves),
+                                  static_cast<uint64_t>(ingested_ops_), &err);
+    FG_CHECK_MSG(wrote, "snapshot: initial base write failed");
+    fg_.core().set_delta_recorder(snapshot_.get());
+  }
   if (config_.overlap) planner_.thread = std::thread([this] { planner_loop(); });
 }
 
 HealerService::~HealerService() {
+  if (snapshot_) fg_.core().set_delta_recorder(nullptr);
   if (planner_.thread.joinable()) {
     {
       std::lock_guard<std::mutex> lock(planner_.mutex);
@@ -102,6 +132,7 @@ int64_t HealerService::run(ChurnStream& stream) {
 
 void HealerService::ingest(const ChurnOp& op) {
   FG_CHECK(!inflight_);
+  ++ingested_ops_;
   if (op.kind == ChurnOp::Kind::kInsert) {
     fg_.insert(op.neighbors);
     ++stats_.inserts;
@@ -124,6 +155,13 @@ void HealerService::dispatch_wave() {
   std::vector<NodeId> victims = std::move(forming_);
   forming_.clear();
   forming_set_.clear();
+
+  // The wave's resume cursor: every op ingested so far is either applied
+  // (inserts), dropped, committed in an earlier wave, or in THIS wave — so
+  // once this wave commits, the state reflects exactly ops [0, cursor). No
+  // further ingest runs before the commit (in-flight ops buffer), so
+  // stamping here covers both modes.
+  if (snapshot_) snapshot_->set_cursor(static_cast<uint64_t>(ingested_ops_));
 
   if (!config_.overlap) {
     // Serial reference: plan inline, then run the identical admission path
@@ -245,6 +283,18 @@ void HealerService::admit_and_commit(std::vector<NodeId> victims,
   stats_.deletes += static_cast<int64_t>(victims.size());
   ++stats_.waves;
   stats_.wave_ms.push_back(ms_since(t0));
+
+  // Snapshot upkeep, with no plan in flight: the wave's delta was appended
+  // when the commit fired on_wave_committed; rotate to a fresh base when
+  // due, or rebase after anything that diverged the mutation epoch from
+  // the op stream (the stabilize() recovery above, an admission-hook
+  // mutation). Disk failures degrade to an alert, never to a crash — the
+  // service keeps healing, the snapshot goes stale.
+  if (snapshot_) {
+    snapshot_->maintain(fg_.core());
+    std::string err = snapshot_->take_error();
+    if (!err.empty() && alert_) alert_(wave, "snapshot: " + err);
+  }
 }
 
 void HealerService::drain_pending() {

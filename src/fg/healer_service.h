@@ -42,6 +42,7 @@
 #include <cstdint>
 #include <functional>
 #include <iosfwd>
+#include <memory>
 #include <mutex>
 #include <optional>
 #include <string>
@@ -51,6 +52,7 @@
 
 #include "cert/certificate.h"
 #include "fg/forgiving_graph.h"
+#include "fg/snapshot_writer.h"
 #include "graph/graph.h"
 #include "harness/certificate.h"
 
@@ -130,6 +132,15 @@ struct HealerConfig {
   /// recovery wave is certified and checked through the same guardrail
   /// path as a sampled deletion wave. 0 disables (no audit cost).
   int audit_every = 0;
+  /// Durable snapshots (src/snap; docs/SNAPSHOTS.md): with snapshot_every
+  /// > 0 and a non-empty snapshot_path, the service keeps
+  /// `<snapshot_path>.base` (the latest base image, replaced atomically
+  /// every snapshot_every waves) and `<snapshot_path>.log` (one CRC-framed
+  /// delta record per committed wave) crash-consistent on disk.
+  /// fg::restore_snapshot + the restoring constructor below resume from
+  /// them in O(changes). 0 disables (no recording cost).
+  int snapshot_every = 0;
+  std::string snapshot_path;
 };
 
 /// Service counters and per-wave latency record.
@@ -173,6 +184,18 @@ class HealerService {
   using AdmissionHook = std::function<void(int64_t wave)>;
 
   explicit HealerService(const Graph& g0, HealerConfig config = {});
+
+  /// Resume from a snapshot-restored core (fg::restore_snapshot):
+  /// `waves_done` / `ops_done` are the restore's wave count and cursor, so
+  /// wave indexing (certify/audit/snapshot sampling) and the resume cursor
+  /// continue exactly where the interrupted service stopped — re-pushing
+  /// the op stream from `ops_done` reproduces the uninterrupted run
+  /// byte for byte (tests/snapshot_test.cpp). With snapshotting configured,
+  /// a fresh base is written immediately (the restored log is consumed, not
+  /// extended).
+  HealerService(core::StructuralCore&& restored, uint64_t waves_done,
+                uint64_t ops_done, HealerConfig config = {});
+
   ~HealerService();
 
   HealerService(const HealerService&) = delete;
@@ -224,6 +247,7 @@ class HealerService {
     double plan_ms = 0.0;
   };
 
+  void init();
   void ingest(const ChurnOp& op);
   void dispatch_wave();
   void retire_inflight();
@@ -261,6 +285,14 @@ class HealerService {
   std::optional<cert::WaveCertificate> pending_cert_;
   int64_t pending_cert_wave_ = 0;
   harness::CertificateCollector collector_;
+
+  /// Durable-snapshot writer (HealerConfig::snapshot_every), installed as
+  /// the core's delta recorder. ingested_ops_ counts ops that fully passed
+  /// ingest() — the resume cursor stamped into each wave's delta at
+  /// dispatch time (ops buffered behind an in-flight plan are pushed but
+  /// not yet ingested, so stats_.ops would over-count).
+  std::unique_ptr<SnapshotWriter> snapshot_;
+  int64_t ingested_ops_ = 0;
 };
 
 }  // namespace fg

@@ -190,7 +190,12 @@ std::vector<VNodeId> ShardedForest::execute(core::StructuralCore& core,
                                effects[static_cast<size_t>(r)]);
     core.finish_break(plan);
   }
-  return commit(core, plan, std::move(pieces));
+  std::vector<VNodeId> roots = commit(core, plan, std::move(pieces));
+  // The wave is fully settled (reservation checked, stitch applied): let
+  // the snapshot layer read the touched state's final values and emit the
+  // wave's delta record (core::DeltaRecorder contract).
+  if (core::DeltaRecorder* rec = core.delta_recorder()) rec->on_wave_committed(core, plan);
+  return roots;
 }
 
 std::vector<VNodeId> ShardedForest::commit(core::StructuralCore& core,

@@ -215,6 +215,24 @@ std::vector<VNodeId> VirtualForest::subtree_of(VNodeId root) const {
   return out;
 }
 
+void VirtualForest::restore_grow(int arena_size) {
+  FG_CHECK_MSG(arena_size >= static_cast<int>(nodes_.size()),
+               "restore cannot shrink the arena");
+  VNode placeholder;
+  placeholder.alive = false;
+  nodes_.resize(static_cast<size_t>(arena_size), placeholder);
+}
+
+void VirtualForest::restore_row(VNodeId h, const VNode& row) {
+  FG_CHECK(h >= 0 && h < static_cast<VNodeId>(nodes_.size()));
+  nodes_[static_cast<size_t>(h)] = row;
+}
+
+void VirtualForest::restore_live_count(int n) {
+  FG_CHECK(n >= 0 && n <= static_cast<int>(nodes_.size()));
+  live_count_ = n;
+}
+
 VirtualForest VirtualForest::from_dump(std::vector<VNode> nodes) {
   VirtualForest f;
   f.nodes_ = std::move(nodes);

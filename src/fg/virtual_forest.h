@@ -163,6 +163,24 @@ class VirtualForest {
   const std::vector<VNode>& dump() const { return nodes_; }
   static VirtualForest from_dump(std::vector<VNode> nodes);
 
+  // --- Snapshot-restore seam (core::StructuralCore::apply_wave_delta). ----
+  //
+  // A wave delta carries the *final* value of every arena row the commit
+  // touched (src/snap); replaying it is a raw overwrite of those rows, not
+  // a re-execution of the commit. These three bypass every construction
+  // check — they are for restoring a state a real commit already produced
+  // (and that a Stabilizer audit re-verifies), never for engine mutations.
+
+  /// Grow the arena to `arena_size` tombstoned placeholder rows (grow-only;
+  /// live_count is untouched — restore_live_count settles it).
+  void restore_grow(int arena_size);
+
+  /// Overwrite row `h` wholesale.
+  void restore_row(VNodeId h, const VNode& row);
+
+  /// Set the live-row count (the delta records the post-commit value).
+  void restore_live_count(int n);
+
  private:
   std::pair<int64_t, int> validate_rec(VNodeId h, bool* ok) const;
 

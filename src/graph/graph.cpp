@@ -228,6 +228,52 @@ void Graph::merge_touches(NodeId node, std::span<const Touch> touches, int* adde
   s.degree = new_degree;
 }
 
+void Graph::add_edges_bulk(std::span<const std::pair<uint32_t, uint32_t>> edges) {
+  FG_CHECK_MSG(edge_count_ == 0, "bulk edge load into a graph that has edges");
+  if (edges.empty()) return;
+  const size_t n = adj_.size();
+  // Pass 1: exact degrees.
+  std::vector<int32_t> deg(n, 0);
+  uint64_t prev_key = 0;
+  for (const auto& [u, v] : edges) {
+    FG_DCHECK(u < v && v < n);
+    FG_DCHECK(alive_[u] && alive_[v]);
+    FG_DCHECK((static_cast<uint64_t>(u) << 32 | v) > prev_key);
+    prev_key = static_cast<uint64_t>(u) << 32 | v;
+    ++deg[u];
+    ++deg[v];
+  }
+  (void)prev_key;
+  if (pool_.empty() && free_lists_.empty()) {
+    // Fresh graph: lay all spill blocks out back-to-back and allocate the
+    // pool once, instead of one pool_alloc (and its resize churn) per node.
+    size_t total = 0;
+    for (size_t i = 0; i < n; ++i) {
+      if (deg[i] <= kInlineCap) continue;
+      AdjSlot& s = adj_[i];
+      int32_t cap = kSpillMinCap;
+      while (cap < deg[i]) cap *= 2;
+      s.cap = cap;
+      s.spill = static_cast<uint32_t>(total);
+      total += static_cast<size_t>(cap);
+    }
+    pool_.resize(total);
+  } else {
+    for (size_t i = 0; i < n; ++i) reserve_slot_discard(adj_[i], deg[i]);
+  }
+  // Pass 2: append through a flat cursor array (slot headers untouched in
+  // the hot loop). Every neighbor < x reaches node x (ascending) before
+  // any neighbor > x does, so each list ends up sorted without a search.
+  std::vector<NodeId*> cur(n);
+  for (size_t i = 0; i < n; ++i) cur[i] = adj_data(adj_[i]);
+  for (const auto& [u, v] : edges) {
+    *cur[u]++ = static_cast<NodeId>(v);
+    *cur[v]++ = static_cast<NodeId>(u);
+  }
+  for (size_t i = 0; i < n; ++i) adj_[i].degree = deg[i];
+  edge_count_ = static_cast<int64_t>(edges.size());
+}
+
 bool Graph::has_edge(NodeId u, NodeId v) const {
   check_valid(u);
   check_valid(v);

@@ -21,6 +21,7 @@
 #include <cstddef>
 #include <cstdint>
 #include <span>
+#include <utility>
 #include <vector>
 
 namespace fg {
@@ -100,6 +101,20 @@ class Graph {
   /// O(degree * k). This is the entry point the structural core's commit
   /// drives: one call per region's image-edge side effects.
   int apply_edge_deltas(std::span<const EdgeDelta> deltas);
+
+  /// Bulk-load a canonical edge list into a graph that has no edges yet.
+  /// `edges` must be strictly ascending lexicographically with u < v, both
+  /// endpoints alive and in range (FG_DCHECKed — the caller validates
+  /// untrusted input first; uint32 pairs because that is the snapshot
+  /// section layout, so the restore path loads with no conversion copy).
+  /// One degree-count pass sizes every neighbor list at its final size
+  /// class and lays the spill blocks out back-to-back in one pool
+  /// allocation, one fill pass appends through a flat cursor array;
+  /// because for each node every smaller neighbor arrives (ascending)
+  /// before any larger one, the lists are sorted by construction. O(V + E)
+  /// total with no per-edge searches or incremental regrowth — this is the
+  /// snapshot restore path.
+  void add_edges_bulk(std::span<const std::pair<uint32_t, uint32_t>> edges);
 
   bool has_edge(NodeId u, NodeId v) const;
   bool is_alive(NodeId v) const;

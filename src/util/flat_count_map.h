@@ -11,6 +11,8 @@
 #pragma once
 
 #include <cstdint>
+#include <span>
+#include <utility>
 #include <vector>
 
 #include "util/check.h"
@@ -53,10 +55,64 @@ class FlatCountMap {
   /// Number of distinct keys.
   size_t size() const { return size_; }
 
+  /// Visit every (key, count) entry in unspecified (storage) order. The
+  /// snapshot layer collects and sorts these for its canonical MULT section
+  /// (src/snap); the map itself stays order-free.
+  template <class F>
+  void for_each(F&& f) const {
+    for (const Cell& c : cells_)
+      if (c.key != 0) f(c.key, c.count);
+  }
+
+  /// Overwrite key's count outright: count > 0 inserts or replaces,
+  /// count == 0 erases (no-op if absent). The snapshot delta replay applies
+  /// final-value multiplicity records through this — never the engines,
+  /// whose mutations are all increment/decrement.
+  void set_count(uint64_t key, int32_t count) {
+    FG_DCHECK(key != 0);
+    FG_CHECK_MSG(count >= 0, "negative multiplicity");
+    if (count == 0) {
+      if (cells_.empty()) return;
+      size_t i = find_slot(key);
+      if (cells_[i].key == key) erase_at(i);
+      return;
+    }
+    if ((size_ + 1) * 8 > cells_.size() * 7) grow();
+    size_t i = find_slot(key);
+    if (cells_[i].key == 0) {
+      cells_[i].key = key;
+      ++size_;
+    }
+    cells_[i].count = count;
+  }
+
   void reserve(size_t n) {
     size_t need = 16;
     while (need * 7 < n * 8) need <<= 1;
     if (need > cells_.size()) rehash(need);
+  }
+
+  /// Bulk-load distinct (key, positive count) entries into an empty map:
+  /// one exact-size rehash up front, then an insert sweep that prefetches
+  /// the home cell a few entries ahead so the random-access misses overlap
+  /// instead of serializing. The snapshot restore path fills the table
+  /// this way; the caller validates the entries first (FG_DCHECKed here).
+  void load(std::span<const std::pair<uint64_t, int32_t>> entries) {
+    FG_CHECK_MSG(size_ == 0, "bulk load into a non-empty count map");
+    if (entries.empty()) return;
+    reserve(entries.size());
+    constexpr size_t kAhead = 16;
+    for (size_t i = 0; i < entries.size(); ++i) {
+      if (i + kAhead < entries.size())
+        __builtin_prefetch(&cells_[home_of(entries[i + kAhead].first)], 1, 1);
+      const auto& [key, count] = entries[i];
+      FG_DCHECK(key != 0 && count > 0);
+      size_t slot = find_slot(key);
+      FG_DCHECK(cells_[slot].key == 0);
+      cells_[slot].key = key;
+      cells_[slot].count = count;
+    }
+    size_ = entries.size();
   }
 
  private:
